@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Standalone experiment runner: regenerate every E1–E16 table.
+
+Runs the full benchmark suite (pytest-benchmark) with table emission
+enabled and collects the experiment tables into a single report, so
+
+    python benchmarks/run_experiments.py [report.md]
+
+reproduces the measured side of EXPERIMENTS.md in one command.  The same
+tables are produced by ``pytest benchmarks/ --benchmark-only -s``; this
+wrapper only adds collection into a file.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("experiment_tables.md")
+    bench_dir = Path(__file__).resolve().parent
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(bench_dir),
+            "--benchmark-only",
+            "-s",
+            "-p",
+            "no:warnings",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=bench_dir.parent,
+    )
+    sys.stdout.write(proc.stdout[-2000:])
+    tables = _extract_tables(proc.stdout)
+    if not tables:
+        print("no experiment tables found — did the benchmarks fail?", file=sys.stderr)
+        sys.stderr.write(proc.stdout[-4000:])
+        return 1
+
+    with out_path.open("w") as fh:
+        fh.write("# Experiment tables (regenerated)\n")
+        fh.write("\nProduced by `python benchmarks/run_experiments.py`.\n")
+        for title, body in sorted(tables, key=lambda t: _sort_key(t[0])):
+            fh.write(f"\n## {title}\n\n```\n{body}\n```\n")
+    print(f"\nwrote {len(tables)} experiment tables to {out_path}")
+    return 0 if proc.returncode == 0 else proc.returncode
+
+
+def _extract_tables(stdout: str):
+    """Pull every ``== title ==`` table block out of the pytest output."""
+    tables = []
+    lines = stdout.splitlines()
+    i = 0
+    while i < len(lines):
+        m = re.match(r"^== (.*) ==$", lines[i])
+        if not m:
+            i += 1
+            continue
+        title = m.group(1)
+        body: list = []
+        i += 1
+        while i < len(lines) and lines[i].strip() and not lines[i].startswith("=="):
+            body.append(lines[i].rstrip())
+            i += 1
+        tables.append((title, "\n".join(body)))
+    return tables
+
+
+def _sort_key(title: str):
+    m = re.match(r"^E(\d+)", title)
+    return (int(m.group(1)) if m else 99, title)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

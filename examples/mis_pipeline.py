@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Scenario: MIS via splitting-driven heavy-node elimination (Lemma 4.2).
+
+The Section 4.2 pipeline: repeatedly halve the degrees of the dense part of
+the graph with uniform splittings, run an MIS on the resulting low-degree
+active graph, remove the covered nodes, and repeat — then compare against
+plain Luby.
+
+Run:  python examples/mis_pipeline.py
+"""
+
+from repro import random_simple_graph
+from repro.apps import mis_via_splitting
+from repro.mis import is_mis, luby_mis, mis_lower_bound
+
+
+def main() -> None:
+    n, p = 500, 0.6
+    adj = random_simple_graph(n, p, seed=11)
+    Delta = max(len(x) for x in adj)
+    print(f"graph: G({n}, {p}) with Delta = {Delta}")
+
+    result = mis_via_splitting(adj, seed=12, eps=0.2)
+    assert is_mis(adj, result.mis)
+    print(f"\nsplitting pipeline:")
+    print(f"  |MIS| = {len(result.mis)} (Lemma 4.3 floor: {mis_lower_bound(n, Delta):.1f})")
+    print(f"  heavy-elimination phases = {result.phases}, uniform splits = {result.splits}")
+    print(f"  heavy nodes per phase    = {result.heavy_history}")
+
+    luby_set, luby_rounds = luby_mis(adj, seed=13)
+    assert is_mis(adj, luby_set)
+    print(f"\nplain Luby baseline: |MIS| = {len(luby_set)} in {luby_rounds} simulated rounds")
+
+
+if __name__ == "__main__":
+    main()

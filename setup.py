@@ -1,0 +1,9 @@
+"""Thin setup.py shim: all metadata lives in pyproject.toml.
+
+Present so the package installs in environments whose setuptools/pip lack
+PEP 660 editable-wheel support (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Section 4 applications: coloring and MIS via splitting."""
+
+from repro.apps.splitting import (
+    BalancedSplitEstimator,
+    attach_clique_gadgets,
+    min_constrained_degree,
+    uniform_splitting,
+)
+from repro.apps.coloring_via_splitting import SplitColoringResult, coloring_via_splitting
+from repro.apps.defective import (
+    defective_two_coloring,
+    defective_violations,
+    is_defective_two_coloring,
+)
+from repro.apps.mis_via_splitting import MISResult, mis_via_splitting
+
+__all__ = [
+    "BalancedSplitEstimator",
+    "uniform_splitting",
+    "min_constrained_degree",
+    "attach_clique_gadgets",
+    "SplitColoringResult",
+    "coloring_via_splitting",
+    "MISResult",
+    "mis_via_splitting",
+    "defective_two_coloring",
+    "defective_violations",
+    "is_defective_two_coloring",
+]

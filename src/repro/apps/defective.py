@@ -1,0 +1,79 @@
+"""Defective 2-coloring — the weaker splitting of the paper's footnote 2.
+
+Footnote 2 (Section 1.1): for the coloring application, "it would be enough
+if each node has at most (∆/2)(1+ε) neighbors *in its own color*.  This is
+a form of defective coloring, and it is a weaker requirement than
+splitting."  We provide the weaker problem explicitly — verifier and
+solver — because it is the natural target for users interested only in the
+coloring application.
+
+The solver simply delegates to the uniform splitter (a uniform splitting
+bounds *both* color classes around d/2, hence in particular the node's own
+class), which also demonstrates the footnote's "weaker than" relation
+constructively.  The verifier, however, accepts strictly more colorings
+than the uniform one — tested explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.apps.splitting import uniform_splitting
+from repro.core.problems import UniformSplittingSpec
+from repro.local.ledger import RoundLedger
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require
+
+__all__ = ["defective_violations", "is_defective_two_coloring", "defective_two_coloring"]
+
+
+def defective_violations(
+    adjacency: Sequence[Sequence[int]],
+    partition: Sequence[Optional[int]],
+    spec: UniformSplittingSpec,
+) -> List[int]:
+    """Nodes with more than ``(1/2 + ε)·d`` *same-color* neighbors.
+
+    Only nodes with ``spec.constrains(deg)`` are checked, mirroring the
+    uniform splitting conventions.
+    """
+    n = len(adjacency)
+    require(len(partition) == n, "partition must cover all nodes")
+    bad: List[int] = []
+    for v in range(n):
+        d = len(adjacency[v])
+        if not spec.constrains(d) or partition[v] is None:
+            continue
+        same = sum(1 for w in adjacency[v] if partition[w] == partition[v])
+        if same > spec.hi(d):
+            bad.append(v)
+    return bad
+
+
+def is_defective_two_coloring(
+    adjacency: Sequence[Sequence[int]],
+    partition: Sequence[Optional[int]],
+    spec: UniformSplittingSpec,
+) -> bool:
+    """Boolean form of :func:`defective_violations`."""
+    return not defective_violations(adjacency, partition, spec)
+
+
+def defective_two_coloring(
+    adjacency: Sequence[Sequence[int]],
+    spec: UniformSplittingSpec,
+    ledger: Optional[RoundLedger] = None,
+    method: str = "derandomized",
+    seed: SeedLike = None,
+) -> List[int]:
+    """Compute a defective 2-coloring by solving the stronger problem.
+
+    Any uniform splitting is a defective 2-coloring (same-color neighbors
+    of ``v`` number at most ``hi(d)`` regardless of ``v``'s own color), so
+    the uniform splitter's guarantee regime carries over verbatim.
+    """
+    partition = uniform_splitting(
+        adjacency, spec, ledger=ledger, method=method, seed=seed
+    )
+    assert is_defective_two_coloring(adjacency, partition, spec)
+    return partition

@@ -1,0 +1,155 @@
+"""Generators for splitting instances.
+
+The paper's algorithms are parameterized by three quantities of the bipartite
+instance ``B = (U ∪ V, E)``: the minimum left degree δ, the maximum left
+degree ∆ and the rank r (maximum right degree).  The generators below produce
+instances with controlled values of these parameters:
+
+* :func:`regular_bipartite` — deterministic, exactly ``d``-regular on the left
+  with right degrees balanced to within one; the workhorse of reproducible
+  benchmarks.
+* :func:`random_left_regular` — each left node samples ``d`` distinct
+  neighbors uniformly; rank concentrates around ``n_left * d / n_right``.
+* :func:`random_near_regular` — left degrees drawn uniformly from
+  ``[dmin, dmax]``; models the "nearly regular" graphs of Theorem 1.1
+  (``∆/δ`` small).
+* :func:`random_skewed` — a deliberately irregular instance (power-law-ish
+  left degrees) used to exercise trimming (Lemma 2.2) and the virtual-node
+  splitting of Section 2.4.
+* :func:`random_graph_instance` — Erdős–Rényi / random-regular *general*
+  graphs converted through the paper's doubling construction live in
+  :mod:`repro.bipartite.transforms`; here we only provide the raw samplers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.bipartite.instance import BipartiteInstance
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "regular_bipartite",
+    "random_left_regular",
+    "random_near_regular",
+    "random_skewed",
+    "random_simple_graph",
+    "random_regular_graph",
+]
+
+
+def regular_bipartite(n_left: int, n_right: int, d: int) -> BipartiteInstance:
+    """Deterministic left-``d``-regular instance with balanced right degrees.
+
+    Left node ``u`` is joined to right nodes ``(u * d + i) mod n_right`` for
+    ``i = 0 .. d-1``.  Requires ``d <= n_right`` so the instance is simple.
+    The right degrees differ by at most ``ceil(n_left * d / n_right)`` from
+    each other only through rounding; for ``n_right | n_left * d`` the right
+    side is exactly regular, so ``rank = n_left * d / n_right``.
+    """
+    require(0 <= d <= n_right, f"need 0 <= d <= n_right, got d={d}, n_right={n_right}")
+    edges = [(u, (u * d + i) % n_right) for u in range(n_left) for i in range(d)]
+    return BipartiteInstance(n_left, n_right, edges)
+
+
+def random_left_regular(
+    n_left: int, n_right: int, d: int, seed: SeedLike = None
+) -> BipartiteInstance:
+    """Each left node independently picks ``d`` distinct right neighbors."""
+    require(0 <= d <= n_right, f"need 0 <= d <= n_right, got d={d}, n_right={n_right}")
+    rng = ensure_rng(seed)
+    population = range(n_right)
+    edges: List[Tuple[int, int]] = []
+    for u in range(n_left):
+        for v in rng.sample(population, d):
+            edges.append((u, v))
+    return BipartiteInstance(n_left, n_right, edges)
+
+
+def random_near_regular(
+    n_left: int,
+    n_right: int,
+    dmin: int,
+    dmax: int,
+    seed: SeedLike = None,
+) -> BipartiteInstance:
+    """Left degrees drawn uniformly from ``[dmin, dmax]``, neighbors uniform.
+
+    Produces instances in the "nearly regular" regime of Theorem 1.1 when
+    ``dmax / dmin`` is small.  The construction guarantees δ >= dmin exactly.
+    """
+    require(0 <= dmin <= dmax <= n_right, f"need 0 <= dmin <= dmax <= n_right")
+    rng = ensure_rng(seed)
+    population = range(n_right)
+    edges: List[Tuple[int, int]] = []
+    for u in range(n_left):
+        d = rng.randint(dmin, dmax)
+        for v in rng.sample(population, d):
+            edges.append((u, v))
+    return BipartiteInstance(n_left, n_right, edges)
+
+
+def random_skewed(
+    n_left: int,
+    n_right: int,
+    dmin: int,
+    dmax: int,
+    exponent: float = 2.0,
+    seed: SeedLike = None,
+) -> BipartiteInstance:
+    """Heavily irregular instance: left degrees follow a truncated power law.
+
+    Degree ``d`` is sampled with weight ``d**-exponent`` on ``[dmin, dmax]``.
+    This produces a few very high-degree constraint nodes among many
+    low-degree ones — the situation where Lemma 2.2's trimming and the
+    Section 2.4 virtual-node splitting actually matter.
+    """
+    require(0 < dmin <= dmax <= n_right, "need 0 < dmin <= dmax <= n_right")
+    rng = ensure_rng(seed)
+    degrees = list(range(dmin, dmax + 1))
+    weights = [d ** (-exponent) for d in degrees]
+    population = range(n_right)
+    edges: List[Tuple[int, int]] = []
+    for u in range(n_left):
+        d = rng.choices(degrees, weights=weights, k=1)[0]
+        for v in rng.sample(population, d):
+            edges.append((u, v))
+    return BipartiteInstance(n_left, n_right, edges)
+
+
+# --------------------------------------------------------------------------
+# General-graph samplers (inputs to the Section 1.1 / Section 4 reductions).
+# Represented as adjacency lists: ``adj[v]`` is the sorted list of neighbors.
+# --------------------------------------------------------------------------
+
+
+def random_simple_graph(n: int, p: float, seed: SeedLike = None) -> List[List[int]]:
+    """Erdős–Rényi ``G(n, p)`` as an adjacency list."""
+    require(0 <= p <= 1, f"p must be a probability, got {p}")
+    rng = ensure_rng(seed)
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                adj[u].append(v)
+                adj[v].append(u)
+    return adj
+
+
+def random_regular_graph(n: int, d: int, seed: SeedLike = None) -> List[List[int]]:
+    """Random ``d``-regular simple graph via networkx's pairing model."""
+    import networkx as nx
+
+    require(n * d % 2 == 0, f"n*d must be even, got n={n}, d={d}")
+    require(0 <= d < n, f"need 0 <= d < n, got d={d}, n={n}")
+    rng = ensure_rng(seed)
+    g = nx.random_regular_graph(d, n, seed=rng.randrange(2**31))
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for u, v in g.edges():
+        adj[u].append(v)
+        adj[v].append(u)
+    for lst in adj:
+        lst.sort()
+    return adj

@@ -1,0 +1,13 @@
+"""Vertex coloring baselines and distance colorings."""
+
+from repro.coloring.distance import distance_coloring, greedy_coloring, power_graph
+from repro.coloring.greedy import d_plus_one_coloring, fhk_coloring_rounds, is_proper_coloring
+
+__all__ = [
+    "power_graph",
+    "greedy_coloring",
+    "distance_coloring",
+    "d_plus_one_coloring",
+    "fhk_coloring_rounds",
+    "is_proper_coloring",
+]

@@ -1,0 +1,111 @@
+"""The paper's contribution: weak splitting algorithms, variants, reductions."""
+
+from repro.core.basic import basic_weak_splitting
+from repro.core.deterministic import deterministic_weak_splitting
+from repro.core.high_girth import high_girth_weak_splitting, shatter_until_low_rank
+from repro.core.local_algorithms import (
+    ShatteringLocal,
+    ZeroRoundColoring,
+    run_shattering_local,
+    run_zero_round_coloring,
+)
+from repro.core.low_rank import low_rank_weak_splitting, rank_one_weak_splitting
+from repro.core.lower_bound import (
+    deterministic_lower_bound_rounds,
+    orientation_from_weak_splitting,
+    randomized_lower_bound_rounds,
+    weak_splitting_instance_from_graph,
+)
+from repro.core.multicolor import (
+    boost_multicolor_splitting,
+    multicolor_splitting,
+    select_rainbow_neighbors,
+    weak_multicolor_splitting,
+    weak_splitting_from_multicolor,
+)
+from repro.core.problems import (
+    UniformSplittingSpec,
+    multicolor_threshold,
+    randomized_min_degree,
+    theorem_25_iterations,
+    theorem_25_trim_threshold,
+    weak_multicolor_bound_degree,
+    weak_multicolor_required_colors,
+    weak_splitting_min_degree,
+)
+from repro.core.randomized import randomized_weak_splitting, solve_component
+from repro.core.reduction import (
+    ReductionTrace,
+    degree_rank_reduction_one,
+    degree_rank_reduction_two,
+    lemma_24_delta_lower_bound,
+    lemma_24_rank_upper_bound,
+)
+from repro.core.shattering import (
+    ShatteringOutcome,
+    shatter,
+    unsatisfied_probability_estimate,
+)
+from repro.core.solver import NoKnownAlgorithmError, solve_weak_splitting
+from repro.core.trim import trimmed_weak_splitting
+from repro.core.verifiers import (
+    is_multicolor_splitting,
+    is_uniform_splitting,
+    is_weak_multicolor_splitting,
+    is_weak_splitting,
+    multicolor_violations,
+    uniform_splitting_violations,
+    weak_multicolor_violations,
+    weak_splitting_violations,
+)
+
+__all__ = [
+    "basic_weak_splitting",
+    "trimmed_weak_splitting",
+    "deterministic_weak_splitting",
+    "low_rank_weak_splitting",
+    "rank_one_weak_splitting",
+    "randomized_weak_splitting",
+    "solve_component",
+    "high_girth_weak_splitting",
+    "shatter_until_low_rank",
+    "solve_weak_splitting",
+    "NoKnownAlgorithmError",
+    "ReductionTrace",
+    "degree_rank_reduction_one",
+    "degree_rank_reduction_two",
+    "lemma_24_delta_lower_bound",
+    "lemma_24_rank_upper_bound",
+    "ShatteringOutcome",
+    "shatter",
+    "unsatisfied_probability_estimate",
+    "ShatteringLocal",
+    "ZeroRoundColoring",
+    "run_shattering_local",
+    "run_zero_round_coloring",
+    "weak_multicolor_splitting",
+    "multicolor_splitting",
+    "weak_splitting_from_multicolor",
+    "boost_multicolor_splitting",
+    "select_rainbow_neighbors",
+    "weak_splitting_instance_from_graph",
+    "orientation_from_weak_splitting",
+    "randomized_lower_bound_rounds",
+    "deterministic_lower_bound_rounds",
+    "is_weak_splitting",
+    "weak_splitting_violations",
+    "is_weak_multicolor_splitting",
+    "weak_multicolor_violations",
+    "is_multicolor_splitting",
+    "multicolor_violations",
+    "is_uniform_splitting",
+    "uniform_splitting_violations",
+    "UniformSplittingSpec",
+    "weak_splitting_min_degree",
+    "theorem_25_trim_threshold",
+    "theorem_25_iterations",
+    "weak_multicolor_bound_degree",
+    "weak_multicolor_required_colors",
+    "multicolor_threshold",
+    "randomized_min_degree",
+]

@@ -1,0 +1,206 @@
+"""Degree–Rank Reductions I and II (Sections 2.2 and 2.3).
+
+Both reductions iterate the directed degree splitting substrate
+(Theorem 2.3) to shrink the instance while keeping enough left-side degree
+for the basic algorithm to finish the job:
+
+* **Reduction I** orients all edges of the bipartite graph itself and keeps
+  only edges directed from ``U`` toward ``V``.  One iteration roughly halves
+  both the left degrees and the rank; Lemma 2.4 gives the trajectories
+  ``δ_k > ((1−ε)/2)^k δ − 2`` and ``r_k < ((1+ε)/2)^k r + 3``.
+
+* **Reduction II** never lets a variable node lose more than half of its
+  edges (so the rank reaches exactly 1 after ``⌈log r⌉`` iterations, Lemma
+  2.6): every variable ``v`` pairs up its neighbors; each pair becomes an
+  edge of an auxiliary multigraph ``G`` on ``U``; a directed degree
+  splitting of ``G`` decides, per pair, which of the two constraint nodes
+  keeps its edge to ``v`` (the tail keeps, the head loses).  A variable of
+  degree ``d`` keeps exactly ``⌈d/2⌉`` edges.
+
+Both functions return the reduced instance, a map from its edges back to the
+original instance's edge ids, and a :class:`ReductionTrace` recording the
+per-iteration parameters — the raw material for experiment E3/E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bipartite.instance import BipartiteInstance
+from repro.local.ledger import RoundLedger
+from repro.orientation.degree_splitting import directed_degree_splitting
+from repro.orientation.multigraph import Multigraph
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "ReductionTrace",
+    "degree_rank_reduction_one",
+    "degree_rank_reduction_two",
+    "lemma_24_delta_lower_bound",
+    "lemma_24_rank_upper_bound",
+]
+
+
+@dataclass
+class ReductionTrace:
+    """Per-iteration parameter trajectory of a degree–rank reduction.
+
+    ``deltas[i]``/``ranks[i]``/``Deltas[i]``/``edge_counts[i]`` describe the
+    instance *after* ``i`` iterations (index 0 = the input instance).
+    """
+
+    deltas: List[int] = field(default_factory=list)
+    Deltas: List[int] = field(default_factory=list)
+    ranks: List[int] = field(default_factory=list)
+    edge_counts: List[int] = field(default_factory=list)
+
+    def record(self, inst: BipartiteInstance) -> None:
+        """Append the current instance's parameters."""
+        s = inst.stats()
+        self.deltas.append(s.delta)
+        self.Deltas.append(s.Delta)
+        self.ranks.append(s.rank)
+        self.edge_counts.append(s.n_edges)
+
+    @property
+    def iterations(self) -> int:
+        """Number of completed iterations."""
+        return len(self.deltas) - 1
+
+
+def lemma_24_delta_lower_bound(delta: int, eps: float, k: int) -> float:
+    """Lemma 2.4: ``δ_k > ((1 − ε)/2)^k · δ − 2``."""
+    return ((1.0 - eps) / 2.0) ** k * delta - 2.0
+
+
+def lemma_24_rank_upper_bound(rank: int, eps: float, k: int) -> float:
+    """Lemma 2.4: ``r_k < ((1 + ε)/2)^k · r + 3`` (for ε < 1/3)."""
+    return ((1.0 + eps) / 2.0) ** k * rank + 3.0
+
+
+def degree_rank_reduction_one(
+    inst: BipartiteInstance,
+    eps: float,
+    iterations: int,
+    ledger: Optional[RoundLedger] = None,
+    randomized: bool = False,
+    engine: str = "eulerian",
+    seed: int = 0,
+) -> Tuple[BipartiteInstance, List[int], ReductionTrace]:
+    """Run ``iterations`` rounds of Degree–Rank Reduction I.
+
+    Each iteration computes a directed degree splitting of the current
+    bipartite (multi)graph — viewing each bipartite edge as a multigraph edge
+    between its two endpoints — with discrepancy ``ε·d(v) + 2`` at *every*
+    node of ``U ∪ V``, then keeps exactly the edges oriented from ``U``
+    toward ``V``.
+
+    Returns ``(reduced, edge_map, trace)`` where ``edge_map[j]`` is the
+    original edge id of the reduced instance's edge ``j``.
+    """
+    require_positive(eps, "eps")
+    require(iterations >= 0, f"iterations must be >= 0, got {iterations}")
+    n = max(2, inst.n)
+    current = inst
+    # Map from current-instance edge ids to original-instance edge ids.
+    edge_map = list(range(inst.n_edges))
+    trace = ReductionTrace()
+    trace.record(current)
+    for it in range(iterations):
+        mg = Multigraph(
+            current.n_left + current.n_right,
+            [(u, current.n_left + v) for (u, v) in current.edges],
+        )
+        split = directed_degree_splitting(
+            mg,
+            eps,
+            n,
+            ledger=ledger,
+            randomized=randomized,
+            engine=engine,
+            seed=(seed, it).__hash__(),
+            label=f"reduction-I/iter-{it}",
+        )
+        # Multigraph edge e points U -> V iff its head is the V-side node.
+        keep = [
+            e
+            for e in range(current.n_edges)
+            if split.orientation.head(e) >= current.n_left
+        ]
+        current, kept_ids = current.subgraph(keep)
+        edge_map = [edge_map[e] for e in kept_ids]
+        trace.record(current)
+    return current, edge_map, trace
+
+
+def degree_rank_reduction_two(
+    inst: BipartiteInstance,
+    eps: float,
+    iterations: int,
+    ledger: Optional[RoundLedger] = None,
+    randomized: bool = False,
+    engine: str = "eulerian",
+    seed: int = 0,
+) -> Tuple[BipartiteInstance, List[int], ReductionTrace]:
+    """Run ``iterations`` rounds of Degree–Rank Reduction II.
+
+    Per iteration, each variable ``v`` groups its neighbors
+    ``u_1, …, u_d`` into pairs ``(u_1, u_2), (u_3, u_4), …`` (an odd
+    leftover neighbor is untouched and keeps its edge).  The auxiliary
+    multigraph ``G`` on ``U`` has one edge per pair, whose *corresponding
+    node* is ``v``; after a directed degree splitting of ``G``, for a pair
+    edge directed ``u → ū`` the bipartite edge ``{ū, v}`` is deleted (the
+    head loses).  Consequently every variable keeps ``⌈d/2⌉`` of its ``d``
+    edges — the rank can never drop below 1 (Lemma 2.6) — and every
+    constraint loses only its in-degree in ``G``, i.e. at most
+    ``(deg_G(u) + ε·deg_G(u) + 2)/2`` edges.
+    """
+    require_positive(eps, "eps")
+    require(iterations >= 0, f"iterations must be >= 0, got {iterations}")
+    n = max(2, inst.n)
+    current = inst
+    edge_map = list(range(inst.n_edges))
+    trace = ReductionTrace()
+    trace.record(current)
+    for it in range(iterations):
+        # Build the auxiliary multigraph: one node per U-node, one edge per
+        # neighbor pair of each variable.  For pair edge g we remember which
+        # bipartite edge each endpoint would lose if it were the head.
+        pair_edges: List[Tuple[int, int]] = []
+        loss_at: List[Tuple[int, int]] = []  # (edge lost if tail-side head, if other head)
+        for v in range(current.n_right):
+            inc = current.right_inc[v]
+            for i in range(0, len(inc) - 1, 2):
+                e1, e2 = inc[i], inc[i + 1]
+                u1 = current.edges[e1][0]
+                u2 = current.edges[e2][0]
+                pair_edges.append((u1, u2))
+                loss_at.append((e1, e2))
+        mg = Multigraph(current.n_left, pair_edges)
+        split = directed_degree_splitting(
+            mg,
+            eps,
+            n,
+            ledger=ledger,
+            randomized=randomized,
+            engine=engine,
+            seed=(seed, it, "II").__hash__(),
+            label=f"reduction-II/iter-{it}",
+        )
+        drop = set()
+        for g in range(len(pair_edges)):
+            u1, u2 = pair_edges[g]
+            e1, e2 = loss_at[g]
+            if u1 == u2:
+                # A self-pair (v has the same constraint twice, possible in
+                # auxiliary multi-instances): drop one copy arbitrarily —
+                # u keeps the other, matching the head-loses rule.
+                drop.add(e2)
+                continue
+            head = split.orientation.head(g)
+            drop.add(e2 if head == u2 else e1)
+        current, kept_ids = current.without_edges(drop)
+        edge_map = [edge_map[e] for e in kept_ids]
+        trace.record(current)
+    return current, edge_map, trace

@@ -1,0 +1,156 @@
+"""A façade that picks the right weak splitting algorithm per instance.
+
+The paper's algorithms cover different parameter regimes; downstream users
+(and the Section 4 applications) just want "solve this instance".  The
+solver inspects (δ, ∆, r, n) and dispatches:
+
+1. ``δ >= 6r``             → Theorem 2.7 (works for any δ).
+2. ``δ >= 2 log n``        → Theorem 2.5 deterministic (or the 0-round
+                             randomized shortcut when asked for speed).
+3. ``δ >= c log(r log n)`` → Theorem 1.2 randomized.
+4. otherwise               → no known poly log n algorithm exists — this is
+                             exactly the open regime the paper's hardness
+                             results live in; the solver raises
+                             :class:`NoKnownAlgorithmError` (or brute-forces
+                             tiny instances when ``allow_bruteforce``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.bipartite.instance import BLUE, RED, BipartiteInstance, Coloring
+from repro.core.deterministic import deterministic_weak_splitting
+from repro.core.low_rank import low_rank_weak_splitting
+from repro.core.problems import randomized_min_degree, weak_splitting_min_degree
+from repro.core.randomized import randomized_weak_splitting
+from repro.core.verifiers import is_weak_splitting
+from repro.local.ledger import RoundLedger
+from repro.utils.rng import SeedLike
+from repro.utils.validation import require
+
+__all__ = ["solve_weak_splitting", "NoKnownAlgorithmError"]
+
+
+class NoKnownAlgorithmError(RuntimeError):
+    """The instance falls outside every regime the paper covers.
+
+    Whether such instances admit efficient deterministic algorithms is the
+    open problem the paper orbits (weak splitting is P-RLOCAL-complete).
+    """
+
+
+def solve_weak_splitting(
+    inst: BipartiteInstance,
+    method: str = "auto",
+    seed: SeedLike = 0,
+    ledger: Optional[RoundLedger] = None,
+    allow_bruteforce: bool = True,
+    verify: bool = True,
+) -> Coloring:
+    """Solve weak splitting with the best applicable algorithm.
+
+    ``method`` may be ``"auto"``, ``"low-rank"``, ``"deterministic"``,
+    ``"randomized"``, ``"heuristic"`` or ``"bruteforce"`` to force a specific
+    path (forcing a path whose precondition fails raises that algorithm's
+    error).  ``"heuristic"`` runs the estimator greedy without a certificate
+    over several shuffled orders and verifies — the pragmatic tool for
+    instances in the paper's *hard* regime, such as the Section 2.5
+    lower-bound constructions (rank 2, δ ≈ 3), where no efficient LOCAL
+    algorithm is known (that being the theorem).  With ``verify`` (default)
+    the returned coloring is checked against Definition 1.1 before being
+    handed back.
+    """
+    require(
+        all(inst.left_degree(u) >= 2 for u in range(inst.n_left)),
+        "weak splitting is unsolvable: some constraint has degree < 2",
+    )
+    n = max(2, inst.n)
+    delta, r = inst.delta, inst.rank
+
+    if method == "auto":
+        if inst.n_left == 0 or inst.n_right == 0:
+            coloring: Coloring = [RED] * inst.n_right
+        elif r and delta >= 6 * r:
+            coloring = low_rank_weak_splitting(inst, ledger=ledger, seed=_as_int(seed))
+        elif delta >= weak_splitting_min_degree(n):
+            coloring = deterministic_weak_splitting(inst, ledger=ledger)
+        elif delta >= randomized_min_degree(max(1, r), n):
+            coloring = randomized_weak_splitting(inst, seed=seed, ledger=ledger)
+        elif allow_bruteforce and inst.n_right <= 20:
+            coloring = _bruteforce(inst, ledger=ledger)
+        else:
+            raise NoKnownAlgorithmError(
+                f"no covered regime applies: delta={delta}, r={r}, n={n} "
+                f"(need delta >= 6r, >= 2 log n = {weak_splitting_min_degree(n):.1f}, "
+                f"or >= c log(r log n) = {randomized_min_degree(max(1, r), n):.1f})"
+            )
+    elif method == "low-rank":
+        coloring = low_rank_weak_splitting(inst, ledger=ledger, seed=_as_int(seed))
+    elif method == "deterministic":
+        coloring = deterministic_weak_splitting(inst, ledger=ledger)
+    elif method == "randomized":
+        coloring = randomized_weak_splitting(inst, seed=seed, ledger=ledger)
+    elif method == "heuristic":
+        coloring = _heuristic(inst, seed=seed, ledger=ledger)
+    elif method == "bruteforce":
+        coloring = _bruteforce(inst, ledger=ledger)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    if verify:
+        require(is_weak_splitting(inst, coloring), "solver produced an invalid splitting")
+    return coloring
+
+
+def _heuristic(
+    inst: BipartiteInstance,
+    seed: SeedLike,
+    ledger: Optional[RoundLedger],
+    attempts: int = 32,
+) -> Coloring:
+    """Uncertified estimator greedy over shuffled orders, verified.
+
+    The exact-martingale estimator makes greedy extremely effective even
+    when its initial value exceeds 1 (no success certificate); we simply
+    retry with fresh orders until the verifier accepts.  Used for instances
+    in the open/hard regime — correctness is still guaranteed (by
+    verification), only the round complexity isn't.
+    """
+    from repro.core.basic import basic_weak_splitting
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(seed)
+    order = list(range(inst.n_right))
+    for _ in range(attempts):
+        coloring = basic_weak_splitting(inst, ledger=ledger, strict=False, order=order)
+        if is_weak_splitting(inst, coloring):
+            return coloring
+        rng.shuffle(order)
+    if inst.n_right <= 20:
+        return _bruteforce(inst, ledger=ledger)
+    raise NoKnownAlgorithmError(
+        f"heuristic greedy failed {attempts} times on a hard-regime instance "
+        f"(delta={inst.delta}, r={inst.rank})"
+    )
+
+
+def _bruteforce(inst: BipartiteInstance, ledger: Optional[RoundLedger]) -> Coloring:
+    """Exhaustive search (tiny instances only; exponential)."""
+    require(inst.n_right <= 24, "bruteforce limited to 24 variables")
+    for bits in itertools.product((RED, BLUE), repeat=inst.n_right):
+        candidate = list(bits)
+        if is_weak_splitting(inst, candidate):
+            if ledger is not None:
+                ledger.charge(inst.n, "bruteforce")
+            return candidate
+    raise NoKnownAlgorithmError("instance admits no weak splitting at all")
+
+
+def _as_int(seed: SeedLike) -> int:
+    if seed is None:
+        return 0
+    if isinstance(seed, int):
+        return seed
+    return seed.randrange(2**31)

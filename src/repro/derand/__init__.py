@@ -1,0 +1,18 @@
+"""Method-of-conditional-expectations derandomization ([GHK16, Thm III.1])."""
+
+from repro.derand.conditional import DerandomizationError, greedy_minimize
+from repro.derand.estimators import (
+    ColoringEstimator,
+    MissingColorEstimator,
+    OverloadEstimator,
+    WeakSplittingEstimator,
+)
+
+__all__ = [
+    "DerandomizationError",
+    "greedy_minimize",
+    "ColoringEstimator",
+    "WeakSplittingEstimator",
+    "MissingColorEstimator",
+    "OverloadEstimator",
+]

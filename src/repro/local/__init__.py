@@ -1,0 +1,36 @@
+"""LOCAL model: synchronous simulator, round ledger, complexity formulas."""
+
+from repro.local.complexity import (
+    degree_splitting_rounds,
+    degree_splitting_rounds_simplified,
+    log_star,
+    power_graph_coloring_rounds,
+    slocal_conversion_rounds,
+)
+from repro.local.ids import sequential_ids, shuffled_ids, sparse_random_ids
+from repro.local.ledger import Charge, RoundLedger
+from repro.local.network import (
+    LocalAlgorithm,
+    Network,
+    NodeView,
+    SimulationResult,
+    run_local,
+)
+
+__all__ = [
+    "LocalAlgorithm",
+    "Network",
+    "NodeView",
+    "SimulationResult",
+    "run_local",
+    "Charge",
+    "RoundLedger",
+    "log_star",
+    "degree_splitting_rounds",
+    "degree_splitting_rounds_simplified",
+    "slocal_conversion_rounds",
+    "power_graph_coloring_rounds",
+    "sequential_ids",
+    "shuffled_ids",
+    "sparse_random_ids",
+]

@@ -1,0 +1,41 @@
+"""Identifier assignment schemes for LOCAL networks.
+
+The LOCAL model equips nodes with unique O(log n)-bit identifiers.  Lower
+bounds (and some reductions, like the Section 2.5 sinkless-orientation
+construction, which compares neighbor IDs) are sensitive to how IDs are
+assigned, so the library makes the scheme explicit and seedable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require
+
+__all__ = ["sequential_ids", "shuffled_ids", "sparse_random_ids"]
+
+
+def sequential_ids(n: int) -> List[int]:
+    """IDs ``0 .. n-1`` in index order (the simulator default)."""
+    require(n >= 0, f"n must be >= 0, got {n}")
+    return list(range(n))
+
+
+def shuffled_ids(n: int, seed: SeedLike = None) -> List[int]:
+    """A uniformly random permutation of ``0 .. n-1``."""
+    rng = ensure_rng(seed)
+    ids = list(range(n))
+    rng.shuffle(ids)
+    return ids
+
+
+def sparse_random_ids(n: int, seed: SeedLike = None, universe_factor: int = 1000) -> List[int]:
+    """Distinct random IDs from the larger universe ``[0, n * universe_factor)``.
+
+    Models the standard assumption that IDs come from a polynomially-sized
+    namespace rather than being a compact permutation.
+    """
+    require(universe_factor >= 1, "universe_factor must be >= 1")
+    rng = ensure_rng(seed)
+    return rng.sample(range(n * universe_factor), n) if n else []

@@ -1,0 +1,215 @@
+"""A synchronous message-passing simulator for the LOCAL model.
+
+The LOCAL model [Lin92, Pel00] (footnote 1 of the paper): a communication
+graph ``G``; computation proceeds in synchronous rounds; in each round every
+node may send an arbitrarily large message to each neighbor, receive the
+messages of its neighbors, and update its state.  Nodes know ``n`` (or an
+upper bound) and carry unique identifiers.  Time complexity is the number of
+rounds until every node has produced its output.
+
+The simulator here is faithful to that definition:
+
+* messages are delivered only along edges, with one-round latency;
+* a node's behaviour is a function of its own state, its private coins and
+  the messages received — there is no global shared state;
+* the round count is exact and is reported to the caller, who typically
+  forwards it to a :class:`repro.local.ledger.RoundLedger` as a *simulated*
+  charge.
+
+Randomized LOCAL algorithms receive per-node private coin sources derived
+from a master seed (see :func:`repro.utils.rng.node_rng`), keeping runs
+reproducible without correlating nodes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import random
+
+from repro.utils.rng import node_rng
+from repro.utils.validation import require
+
+__all__ = ["Network", "NodeView", "LocalAlgorithm", "run_local", "SimulationResult"]
+
+
+class Network:
+    """A communication graph for the simulator.
+
+    Parameters
+    ----------
+    adjacency:
+        ``adjacency[i]`` lists the node indices adjacent to node ``i``.  The
+        graph must be symmetric; parallel entries are allowed (multi-edges)
+        and are presented to the algorithm as distinct ports.
+    ids:
+        Unique identifiers (the LOCAL model's O(log n)-bit names).  Defaults
+        to the node indices.
+    """
+
+    def __init__(self, adjacency: Sequence[Sequence[int]], ids: Optional[Sequence[int]] = None):
+        self.adjacency: Tuple[Tuple[int, ...], ...] = tuple(tuple(a) for a in adjacency)
+        n = len(self.adjacency)
+        counts: Dict[Tuple[int, int], int] = {}
+        for i, nbrs in enumerate(self.adjacency):
+            for j in nbrs:
+                require(0 <= j < n, f"node {i} lists out-of-range neighbor {j}")
+                counts[(i, j)] = counts.get((i, j), 0) + 1
+        for (i, j), c in counts.items():
+            require(
+                counts.get((j, i), 0) == c,
+                f"asymmetric adjacency between nodes {i} and {j}",
+            )
+        if ids is None:
+            ids = list(range(n))
+        require(len(ids) == n, "ids must have one entry per node")
+        require(len(set(ids)) == n, "ids must be unique")
+        self.ids: Tuple[int, ...] = tuple(int(x) for x in ids)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.adjacency)
+
+    def degree(self, i: int) -> int:
+        """Degree (number of ports) of node ``i``."""
+        return len(self.adjacency[i])
+
+    @classmethod
+    def from_bipartite(cls, inst, ids: Optional[Sequence[int]] = None) -> "Network":
+        """Communication network of a bipartite instance.
+
+        Left node ``u`` becomes simulator node ``u``; right node ``v`` becomes
+        node ``inst.n_left + v``.  Each bipartite edge is one communication
+        link (one port on each side).
+        """
+        adj: List[List[int]] = [[] for _ in range(inst.n_left + inst.n_right)]
+        for u, v in inst.edges:
+            adj[u].append(inst.n_left + v)
+            adj[inst.n_left + v].append(u)
+        return cls(adj, ids=ids)
+
+
+@dataclass
+class NodeView:
+    """Everything a node may legitimately see during the simulation.
+
+    ``state`` is the node's private memory; ``rng`` its private coin source;
+    ``ports`` maps port number to nothing the node shouldn't know — the node
+    addresses neighbors only by port, never by global index.
+    """
+
+    index: int  #: simulator-internal index (used by the harness, not the node)
+    uid: int  #: the node's unique identifier (visible to the algorithm)
+    degree: int  #: number of incident ports
+    n: int  #: number of nodes in the network (known in the LOCAL model)
+    rng: random.Random  #: private coins
+    state: Dict[str, Any] = field(default_factory=dict)  #: private memory
+    output: Any = None  #: final output once set
+    halted: bool = False  #: whether the node has terminated
+
+
+class LocalAlgorithm(ABC):
+    """A node-uniform algorithm for the synchronous simulator.
+
+    Subclasses implement three hooks.  ``init`` runs before round 1;
+    ``send`` produces this round's outgoing messages as ``{port: message}``
+    (missing ports send nothing); ``receive`` consumes the inbox
+    ``{port: message}`` and may set ``view.output`` / ``view.halted``.
+    The simulation stops when every node has halted or after ``max_rounds``.
+    """
+
+    @abstractmethod
+    def init(self, view: NodeView) -> None:
+        """Initialize private state before the first round."""
+
+    @abstractmethod
+    def send(self, view: NodeView, round_no: int) -> Dict[int, Any]:
+        """Messages to emit in round ``round_no`` (1-based), keyed by port."""
+
+    @abstractmethod
+    def receive(self, view: NodeView, round_no: int, inbox: Dict[int, Any]) -> None:
+        """Process the messages received in round ``round_no``."""
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run."""
+
+    rounds: int  #: number of executed rounds
+    views: List[NodeView]  #: final node views (outputs in ``view.output``)
+    completed: bool  #: True iff all nodes halted before the round cap
+
+    def outputs(self) -> List[Any]:
+        """Convenience: the per-node outputs in index order."""
+        return [v.output for v in self.views]
+
+
+def run_local(
+    network: Network,
+    algorithm: LocalAlgorithm,
+    max_rounds: int = 10_000,
+    seed: int = 0,
+) -> SimulationResult:
+    """Execute ``algorithm`` on ``network`` synchronously.
+
+    Message delivery is port-to-port: if node ``a`` lists ``b`` at port ``p``
+    and ``b`` lists ``a`` at port ``q``, a message sent by ``a`` on port ``p``
+    in round ``t`` arrives in ``b``'s inbox under port ``q`` in the same
+    round's receive phase (standard synchronous semantics).
+    """
+    require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
+    n = network.n
+    # Port tables: reverse_port[i][p] = the port of the counterpart at the
+    # other endpoint.  Multi-edges are matched in order of appearance.
+    reverse_port: List[List[int]] = [[-1] * len(network.adjacency[i]) for i in range(n)]
+    cursor: Dict[Tuple[int, int], List[int]] = {}
+    for i in range(n):
+        for p, j in enumerate(network.adjacency[i]):
+            cursor.setdefault((j, i), []).append(p)
+    taken: Dict[Tuple[int, int], int] = {}
+    for i in range(n):
+        for p, j in enumerate(network.adjacency[i]):
+            k = taken.get((i, j), 0)
+            taken[(i, j)] = k + 1
+            reverse_port[i][p] = cursor[(i, j)][k]
+
+    views = [
+        NodeView(
+            index=i,
+            uid=network.ids[i],
+            degree=network.degree(i),
+            n=n,
+            rng=node_rng(seed, network.ids[i]),
+        )
+        for i in range(n)
+    ]
+    for view in views:
+        algorithm.init(view)
+
+    rounds = 0
+    for round_no in range(1, max_rounds + 1):
+        if all(v.halted for v in views):
+            break
+        inboxes: List[Dict[int, Any]] = [{} for _ in range(n)]
+        for i in range(n):
+            if views[i].halted:
+                continue
+            outgoing = algorithm.send(views[i], round_no)
+            for port, message in outgoing.items():
+                require(
+                    0 <= port < network.degree(i),
+                    f"node {i} sent on invalid port {port}",
+                )
+                j = network.adjacency[i][port]
+                inboxes[j][reverse_port[i][port]] = message
+        for i in range(n):
+            if views[i].halted:
+                continue
+            algorithm.receive(views[i], round_no, inboxes[i])
+        rounds = round_no
+        if all(v.halted for v in views):
+            break
+    return SimulationResult(rounds=rounds, views=views, completed=all(v.halted for v in views))

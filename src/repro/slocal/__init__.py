@@ -1,0 +1,12 @@
+"""SLOCAL model simulator and SLOCAL -> LOCAL conversion."""
+
+from repro.slocal.model import BallView, SLocalAlgorithm, SLocalSimulator
+from repro.slocal.conversion import run_slocal_via_coloring, verify_power_coloring
+
+__all__ = [
+    "BallView",
+    "SLocalAlgorithm",
+    "SLocalSimulator",
+    "run_slocal_via_coloring",
+    "verify_power_coloring",
+]

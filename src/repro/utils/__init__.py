@@ -1,0 +1,5 @@
+"""Shared helpers: math conventions, RNG plumbing, validation."""
+
+from repro.utils import mathx, rng, validation
+
+__all__ = ["mathx", "rng", "validation"]

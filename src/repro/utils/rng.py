@@ -1,0 +1,40 @@
+"""Deterministic random-number plumbing.
+
+Every randomized algorithm in this library takes either a seed or a
+:class:`random.Random` instance.  In the LOCAL model each node flips private
+coins; we model this by deriving one child generator per node from a master
+seed, which keeps runs reproducible while preserving the independence
+structure the analyses rely on (a node's bits are a pure function of the
+master seed and its identifier, untouched by other nodes' consumption).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+__all__ = ["ensure_rng", "spawn", "node_rng"]
+
+SeedLike = Union[None, int, random.Random]
+
+
+def ensure_rng(seed: SeedLike = None) -> random.Random:
+    """Coerce ``seed`` into a :class:`random.Random`.
+
+    ``None`` yields a fresh nondeterministically seeded generator, an ``int``
+    a deterministically seeded one, and an existing generator is passed
+    through unchanged.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random, label: str) -> random.Random:
+    """Derive an independent child generator keyed by ``label``."""
+    return random.Random(f"{rng.getrandbits(64)}/{label}")
+
+
+def node_rng(master_seed: int, node_id: int, salt: str = "") -> random.Random:
+    """Private coin source for one node, a pure function of seed and id."""
+    return random.Random(f"{master_seed}/{node_id}/{salt}")

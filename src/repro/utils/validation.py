@@ -1,0 +1,42 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_nonnegative",
+    "require_in_range",
+    "require_probability",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_nonnegative(value: float, name: str) -> None:
+    """Raise unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Raise unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise unless ``value`` is a probability in [0, 1]."""
+    require_in_range(value, 0.0, 1.0, name)

@@ -1,0 +1,109 @@
+"""Tests for the instance generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bipartite import (
+    random_left_regular,
+    random_near_regular,
+    random_regular_graph,
+    random_simple_graph,
+    random_skewed,
+    regular_bipartite,
+)
+
+
+class TestRegularBipartite:
+    def test_exact_left_degree(self):
+        inst = regular_bipartite(10, 20, 4)
+        assert all(inst.left_degree(u) == 4 for u in range(10))
+
+    def test_right_degrees_balanced_when_divisible(self):
+        inst = regular_bipartite(10, 20, 4)  # 40 edges over 20 right nodes
+        assert all(inst.right_degree(v) == 2 for v in range(20))
+
+    def test_simple(self):
+        assert regular_bipartite(7, 11, 5).is_simple()
+
+    def test_rejects_degree_above_right_size(self):
+        with pytest.raises(ValueError):
+            regular_bipartite(3, 2, 3)
+
+    def test_zero_degree(self):
+        inst = regular_bipartite(3, 3, 0)
+        assert inst.n_edges == 0
+
+
+class TestRandomLeftRegular:
+    def test_left_degree_exact(self):
+        inst = random_left_regular(20, 30, 6, seed=1)
+        assert all(inst.left_degree(u) == 6 for u in range(20))
+
+    def test_seeded_reproducibility(self):
+        a = random_left_regular(10, 10, 3, seed=5)
+        b = random_left_regular(10, 10, 3, seed=5)
+        assert a.edges == b.edges
+
+    def test_different_seeds_differ(self):
+        a = random_left_regular(10, 10, 3, seed=5)
+        b = random_left_regular(10, 10, 3, seed=6)
+        assert a.edges != b.edges
+
+    def test_simple(self):
+        assert random_left_regular(15, 15, 7, seed=2).is_simple()
+
+
+class TestRandomNearRegular:
+    def test_degrees_within_range(self):
+        inst = random_near_regular(30, 30, 4, 8, seed=3)
+        for u in range(30):
+            assert 4 <= inst.left_degree(u) <= 8
+
+    def test_delta_at_least_dmin(self):
+        inst = random_near_regular(30, 30, 4, 8, seed=3)
+        assert inst.delta >= 4
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            random_near_regular(5, 5, 4, 3, seed=1)
+
+
+class TestRandomSkewed:
+    def test_degrees_within_range(self):
+        inst = random_skewed(50, 100, 3, 40, seed=4)
+        for u in range(50):
+            assert 3 <= inst.left_degree(u) <= 40
+
+    def test_skew_favors_small_degrees(self):
+        inst = random_skewed(300, 500, 2, 100, exponent=2.5, seed=5)
+        hist = inst.degree_histogram_left()
+        small = sum(c for d, c in hist.items() if d <= 10)
+        assert small > 150  # most nodes stay near the minimum
+
+
+class TestGraphSamplers:
+    def test_gnp_symmetry(self):
+        adj = random_simple_graph(30, 0.2, seed=6)
+        for u in range(30):
+            for v in adj[u]:
+                assert u in adj[v]
+
+    def test_gnp_extremes(self):
+        assert all(not x for x in random_simple_graph(10, 0.0, seed=1))
+        full = random_simple_graph(10, 1.0, seed=1)
+        assert all(len(x) == 9 for x in full)
+
+    def test_regular_graph_degrees(self):
+        adj = random_regular_graph(20, 4, seed=7)
+        assert all(len(x) == 4 for x in adj)
+
+    def test_regular_graph_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3, seed=1)
+
+    def test_regular_graph_sorted_and_simple(self):
+        adj = random_regular_graph(16, 3, seed=8)
+        for u, nbrs in enumerate(adj):
+            assert nbrs == sorted(nbrs)
+            assert len(set(nbrs)) == len(nbrs)
+            assert u not in nbrs

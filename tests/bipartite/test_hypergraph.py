@@ -1,0 +1,69 @@
+"""Tests for the hypergraph view."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bipartite import BipartiteInstance, Hypergraph, random_left_regular
+
+
+class TestHypergraph:
+    def test_basic_parameters(self):
+        hg = Hypergraph(4, [(0, 1, 2), (1, 3), (0,)])
+        assert hg.n_vertices == 4 and hg.n_edges == 3
+        assert hg.rank == 3
+        assert hg.vertex_degree(1) == 2
+        assert hg.min_vertex_degree() == 1
+
+    def test_rejects_repeated_vertex_in_edge(self):
+        with pytest.raises(ValueError):
+            Hypergraph(3, [(0, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, [(0, 2)])
+
+    def test_empty(self):
+        hg = Hypergraph(0, [])
+        assert hg.rank == 0 and hg.min_vertex_degree() == 0
+
+    def test_to_bipartite_parameters_match(self):
+        hg = Hypergraph(5, [(0, 1), (1, 2, 3), (3, 4), (0, 4)])
+        inst = hg.to_bipartite()
+        assert inst.n_left == 5 and inst.n_right == 4
+        assert inst.rank == hg.rank
+        assert inst.delta == hg.min_vertex_degree()
+
+    def test_roundtrip(self):
+        hg = Hypergraph(5, [(0, 1), (1, 2, 3), (3, 4)])
+        back = Hypergraph.from_bipartite(hg.to_bipartite())
+        assert back.n_vertices == hg.n_vertices
+        assert [set(e) for e in back.edges] == [set(e) for e in hg.edges]
+
+    def test_from_bipartite_collapses_multi_edges(self):
+        inst = BipartiteInstance(2, 1, [(0, 0), (0, 0), (1, 0)], allow_multi=True)
+        hg = Hypergraph.from_bipartite(inst)
+        assert set(hg.edges[0]) == {0, 1}
+
+    def test_weak_splitting_through_hypergraph_view(self):
+        """A user building hypergraphs gets solvable instances."""
+        from repro.core import is_weak_splitting, solve_weak_splitting
+
+        base = random_left_regular(100, 100, 20, seed=1)
+        hg = Hypergraph.from_bipartite(base)
+        inst = hg.to_bipartite()
+        coloring = solve_weak_splitting(inst)
+        assert is_weak_splitting(inst, coloring)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=12))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, n_vertices, n_edges):
+        import random
+
+        rng = random.Random(n_vertices * 31 + n_edges)
+        edges = []
+        for _ in range(n_edges):
+            k = rng.randint(1, n_vertices)
+            edges.append(tuple(rng.sample(range(n_vertices), k)))
+        hg = Hypergraph(n_vertices, edges)
+        back = Hypergraph.from_bipartite(hg.to_bipartite())
+        assert [set(e) for e in back.edges] == [set(e) for e in hg.edges]

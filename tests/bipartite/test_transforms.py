@@ -1,0 +1,121 @@
+"""Tests for the doubling, virtual-splitting and trimming transforms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bipartite import (
+    BipartiteInstance,
+    double_cover,
+    random_left_regular,
+    split_high_degree_left,
+    trim_left_degrees,
+)
+from repro.bipartite.generators import random_simple_graph
+
+
+class TestDoubleCover:
+    def test_triangle(self):
+        adj = [[1, 2], [0, 2], [0, 1]]
+        inst = double_cover(adj)
+        assert inst.n_left == 3 and inst.n_right == 3
+        assert inst.n_edges == 6  # two bipartite edges per graph edge
+
+    def test_degrees_match_graph(self):
+        adj = random_simple_graph(20, 0.3, seed=1)
+        inst = double_cover(adj)
+        for v in range(20):
+            assert inst.left_degree(v) == len(adj[v])
+            assert inst.right_degree(v) == len(adj[v])
+
+    def test_delta_le_rank_always(self):
+        """The paper's point: doubled instances always have δ <= r."""
+        adj = random_simple_graph(25, 0.2, seed=2)
+        inst = double_cover(adj)
+        if inst.n_edges:
+            assert inst.delta <= inst.rank
+
+    def test_neighborhood_structure(self):
+        # edge {0, 1}: uL(0) adjacent to vR(1) and vice versa
+        inst = double_cover([[1], [0]])
+        assert inst.left_neighbors(0) == [1]
+        assert inst.left_neighbors(1) == [0]
+
+
+class TestSplitHighDegreeLeft:
+    def test_no_split_below_2delta(self):
+        inst = random_left_regular(10, 30, 5, seed=3)
+        virtual, owner = split_high_degree_left(inst, delta=5)
+        assert virtual.n_left == 10 and owner == list(range(10))
+
+    def test_split_counts(self):
+        # one left node of degree 13, delta 4 -> floor(13/4) = 3 virtual nodes
+        inst = BipartiteInstance(1, 13, [(0, v) for v in range(13)])
+        virtual, owner = split_high_degree_left(inst, delta=4)
+        assert virtual.n_left == 3 and owner == [0, 0, 0]
+
+    def test_virtual_degree_window(self):
+        inst = BipartiteInstance(1, 13, [(0, v) for v in range(13)])
+        virtual, _ = split_high_degree_left(inst, delta=4)
+        degs = [virtual.left_degree(j) for j in range(virtual.n_left)]
+        assert degs == [4, 4, 5]
+        assert all(4 <= d < 8 for d in degs)
+
+    def test_right_side_preserved(self):
+        inst = BipartiteInstance(2, 9, [(0, v) for v in range(9)] + [(1, 0), (1, 1), (1, 2)])
+        virtual, _ = split_high_degree_left(inst, delta=3)
+        assert virtual.n_right == inst.n_right
+        assert virtual.n_edges == inst.n_edges
+
+    def test_weak_splitting_pulls_back(self):
+        """A virtual weak splitting satisfies every original constraint."""
+        from repro.core import is_weak_splitting, solve_weak_splitting
+
+        inst = BipartiteInstance(1, 12, [(0, v) for v in range(12)])
+        virtual, owner = split_high_degree_left(inst, delta=3)
+        coloring = solve_weak_splitting(virtual, method="bruteforce")
+        assert is_weak_splitting(inst, coloring)
+
+    def test_rejects_degree_below_delta(self):
+        inst = BipartiteInstance(1, 2, [(0, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            split_high_degree_left(inst, delta=3)
+
+    @given(st.integers(min_value=3, max_value=40), st.integers(min_value=3, max_value=9))
+    @settings(max_examples=40)
+    def test_window_property(self, degree, delta):
+        if degree < delta:
+            return
+        inst = BipartiteInstance(1, degree, [(0, v) for v in range(degree)])
+        virtual, owner = split_high_degree_left(inst, delta=delta)
+        assert virtual.n_left == degree // delta
+        for j in range(virtual.n_left):
+            assert delta <= virtual.left_degree(j) <= 2 * delta - 1
+        assert sum(virtual.left_degree(j) for j in range(virtual.n_left)) == degree
+
+
+class TestTrim:
+    def test_trims_to_target(self):
+        inst = random_left_regular(10, 30, 9, seed=4)
+        trimmed, emap = trim_left_degrees(inst, 4)
+        assert all(trimmed.left_degree(u) == 4 for u in range(10))
+
+    def test_low_degree_nodes_untouched(self):
+        inst = BipartiteInstance(2, 5, [(0, v) for v in range(5)] + [(1, 0)])
+        trimmed, _ = trim_left_degrees(inst, 3)
+        assert trimmed.left_degree(0) == 3 and trimmed.left_degree(1) == 1
+
+    def test_edge_map_consistent(self):
+        inst = random_left_regular(8, 20, 6, seed=5)
+        trimmed, emap = trim_left_degrees(inst, 2)
+        for new_id, old_id in enumerate(emap):
+            assert trimmed.edges[new_id] == inst.edges[old_id]
+
+    def test_rejects_nonpositive_target(self):
+        inst = random_left_regular(3, 3, 2, seed=1)
+        with pytest.raises(ValueError):
+            trim_left_degrees(inst, 0)
+
+    def test_rank_never_grows(self):
+        inst = random_left_regular(20, 10, 5, seed=6)
+        trimmed, _ = trim_left_degrees(inst, 3)
+        assert trimmed.rank <= inst.rank

@@ -1,0 +1,62 @@
+"""Tests for power graphs and distance colorings."""
+
+import pytest
+
+from repro.coloring import distance_coloring, greedy_coloring, power_graph
+from repro.local import RoundLedger
+from repro.slocal import verify_power_coloring
+from tests.conftest import cycle_graph, path_graph
+
+
+class TestPowerGraph:
+    def test_square_of_path(self):
+        pg = power_graph(path_graph(5), 2)
+        assert pg[0] == [1, 2]
+        assert pg[2] == [0, 1, 3, 4]
+
+    def test_power_one_is_identity(self):
+        adj = cycle_graph(6)
+        pg = power_graph(adj, 1)
+        assert all(sorted(a) == sorted(b) for a, b in zip(pg, adj))
+
+    def test_large_power_gives_component_clique(self):
+        pg = power_graph(path_graph(4), 10)
+        assert all(len(x) == 3 for x in pg)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            power_graph(path_graph(3), 0)
+
+
+class TestGreedyColoring:
+    def test_proper_and_small(self):
+        adj = cycle_graph(9)
+        colors = greedy_coloring(adj)
+        assert max(colors) <= 2
+        for v in range(9):
+            for w in adj[v]:
+                assert colors[v] != colors[w]
+
+    def test_custom_order(self):
+        adj = path_graph(3)
+        colors = greedy_coloring(adj, order=[1, 0, 2])
+        assert colors[1] == 0 and colors[0] == 1 and colors[2] == 1
+
+
+class TestDistanceColoring:
+    def test_proper_on_power_graph(self):
+        adj = cycle_graph(11)
+        colors, num = distance_coloring(adj, 2)
+        assert verify_power_coloring(adj, colors, radius=2)
+        assert num <= 5  # Delta(G^2)=4 -> at most 5 colors
+
+    def test_round_charge_includes_degree_and_logstar(self):
+        adj = cycle_graph(8)
+        led = RoundLedger()
+        distance_coloring(adj, 2, ledger=led)
+        assert led.total >= 4  # Delta(G^2) = 4
+
+    def test_radius_three(self):
+        adj = path_graph(10)
+        colors, _ = distance_coloring(adj, 3)
+        assert verify_power_coloring(adj, colors, radius=3)

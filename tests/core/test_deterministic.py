@@ -1,0 +1,72 @@
+"""Tests for Theorem 2.5 (main deterministic weak splitting)."""
+
+import math
+
+import pytest
+
+from repro.bipartite import random_left_regular, random_near_regular
+from repro.core import (
+    deterministic_weak_splitting,
+    is_weak_splitting,
+    theorem_25_trim_threshold,
+)
+from repro.derand import DerandomizationError
+from repro.local import RoundLedger
+
+
+class TestDeterministic:
+    def test_trim_regime(self, splittable_instance):
+        """δ <= 48 log n goes through Lemma 2.2."""
+        led = RoundLedger()
+        coloring = deterministic_weak_splitting(splittable_instance, ledger=led)
+        assert is_weak_splitting(splittable_instance, coloring)
+        assert "reduction-I/iter-0" not in led.breakdown()
+
+    def test_reduction_regime(self):
+        """δ > 48 log n triggers the degree–rank reduction pipeline."""
+        # n = 64 + 512 = 576 -> 48 log n ≈ 440... too big; use tiny n_left
+        # n = 16 + 40 = 56 -> 48 log n ≈ 278: still too big for degree 40.
+        # Instead exercise via n_override: pretend the ambient network is small.
+        inst = random_left_regular(60, 500, 300, seed=1)
+        led = RoundLedger()
+        coloring = deterministic_weak_splitting(inst, ledger=led, n_override=32)
+        assert is_weak_splitting(inst, coloring)
+        assert any(label.startswith("reduction-I") for label in led.breakdown())
+
+    def test_reduction_regime_genuine_n(self):
+        """A genuinely dense instance: n = 40, δ must exceed 48·log2(40) ≈ 255."""
+        inst = random_left_regular(20, 20, 20, seed=2)
+        # δ = 20 < 2 log 40 is false: 2 log2(40) = 10.6 -> deterministic OK,
+        # but stays in the trim regime; the genuine reduction regime needs
+        # δ > 48 log n which forces n_right >= δ > 48 log n — feasible at
+        # n ≈ 2000, δ ≈ 600: build it.
+        inst = random_left_regular(600, 1400, 600, seed=3)
+        assert inst.delta > theorem_25_trim_threshold(inst.n)
+        led = RoundLedger()
+        coloring = deterministic_weak_splitting(inst, ledger=led)
+        assert is_weak_splitting(inst, coloring)
+        assert any(label.startswith("reduction-I") for label in led.breakdown())
+
+    def test_strict_precondition(self):
+        inst = random_left_regular(100, 100, 6, seed=4)
+        with pytest.raises(DerandomizationError):
+            deterministic_weak_splitting(inst)
+
+    def test_near_regular(self):
+        inst = random_near_regular(250, 250, 22, 40, seed=5)
+        assert is_weak_splitting(inst, deterministic_weak_splitting(inst))
+
+    def test_empty_right_side(self):
+        from repro.bipartite import BipartiteInstance
+
+        inst = BipartiteInstance(0, 3, [])
+        assert deterministic_weak_splitting(inst) == [0, 0, 0]
+
+    def test_rounds_grow_with_rank(self):
+        """Theorem 2.5 cost is O(r/δ · log²n + ...): rank should matter."""
+        lo_rank = random_left_regular(100, 800, 24, seed=6)
+        hi_rank = random_left_regular(800, 100, 24, seed=6)
+        led_lo, led_hi = RoundLedger(), RoundLedger()
+        deterministic_weak_splitting(lo_rank, ledger=led_lo)
+        deterministic_weak_splitting(hi_rank, ledger=led_hi)
+        assert led_hi.total > led_lo.total

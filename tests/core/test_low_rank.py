@@ -1,0 +1,76 @@
+"""Tests for Theorem 2.7 (δ >= 6r regime)."""
+
+import pytest
+
+from repro.bipartite import BipartiteInstance, regular_bipartite
+from repro.core import is_weak_splitting, low_rank_weak_splitting, rank_one_weak_splitting
+from repro.local import RoundLedger
+
+
+class TestRankOneSolver:
+    def test_private_neighborhoods(self):
+        # two constraints, disjoint variables
+        inst = BipartiteInstance(2, 5, [(0, 0), (0, 1), (0, 2), (1, 3), (1, 4)])
+        coloring = rank_one_weak_splitting(inst)
+        assert is_weak_splitting(inst, coloring)
+
+    def test_unconstrained_variables_colored(self):
+        inst = BipartiteInstance(1, 3, [(0, 0), (0, 1)])
+        coloring = rank_one_weak_splitting(inst)
+        assert coloring[2] is not None
+
+    def test_rejects_rank_two(self):
+        inst = BipartiteInstance(2, 1, [(0, 0), (1, 0)])
+        with pytest.raises(ValueError):
+            rank_one_weak_splitting(inst)
+
+    def test_rejects_degree_one_constraint(self):
+        inst = BipartiteInstance(1, 1, [(0, 0)])
+        with pytest.raises(ValueError):
+            rank_one_weak_splitting(inst)
+
+
+class TestLowRank:
+    def test_low_degree_reduction_branch(self, low_rank_instance):
+        """δ = 12 < 2 log n: must go through Reduction II."""
+        led = RoundLedger()
+        coloring = low_rank_weak_splitting(low_rank_instance, ledger=led)
+        assert is_weak_splitting(low_rank_instance, coloring)
+        assert any(label.startswith("reduction-II") for label in led.breakdown())
+
+    def test_high_degree_deterministic_branch(self):
+        # δ = 24 >= 2 log n (n = 100 + 100 -> 15.3) and rank small enough?
+        # regular_bipartite(100, 600, 24): rank = 4, δ = 24 >= 24. OK.
+        inst = regular_bipartite(100, 600, 24)
+        assert inst.delta >= 6 * inst.rank
+        coloring = low_rank_weak_splitting(inst)
+        assert is_weak_splitting(inst, coloring)
+
+    def test_randomized_branch(self, low_rank_instance):
+        led = RoundLedger()
+        coloring = low_rank_weak_splitting(
+            low_rank_instance, ledger=led, randomized=True, seed=3
+        )
+        assert is_weak_splitting(low_rank_instance, coloring)
+
+    def test_randomized_cheaper_substrate(self, low_rank_instance):
+        led_d, led_r = RoundLedger(), RoundLedger()
+        low_rank_weak_splitting(low_rank_instance, ledger=led_d)
+        low_rank_weak_splitting(low_rank_instance, ledger=led_r, randomized=True, seed=1)
+        assert led_r.total < led_d.total
+
+    def test_precondition_enforced(self):
+        inst = regular_bipartite(20, 20, 10)  # rank 10, delta 10 < 60
+        with pytest.raises(ValueError):
+            low_rank_weak_splitting(inst)
+
+    def test_boundary_delta_exactly_6r(self):
+        inst = regular_bipartite(30, 180, 12)  # rank 2, delta 12 = 6*2
+        coloring = low_rank_weak_splitting(inst)
+        assert is_weak_splitting(inst, coloring)
+
+    def test_rank_three(self):
+        inst = regular_bipartite(60, 360, 18)  # rank 3, delta 18 = 6*3
+        assert inst.rank == 3
+        coloring = low_rank_weak_splitting(inst)
+        assert is_weak_splitting(inst, coloring)

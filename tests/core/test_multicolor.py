@@ -1,0 +1,142 @@
+"""Tests for Section 3 (multicolor splitting variants and completeness)."""
+
+import math
+
+import pytest
+
+from repro.bipartite import BipartiteInstance, random_left_regular
+from repro.core import (
+    boost_multicolor_splitting,
+    is_multicolor_splitting,
+    is_weak_splitting,
+    multicolor_splitting,
+    multicolor_violations,
+    select_rainbow_neighbors,
+    weak_multicolor_required_colors,
+    weak_multicolor_splitting,
+    weak_splitting_from_multicolor,
+)
+from repro.derand import DerandomizationError
+from repro.local import RoundLedger
+
+
+def dense_instance(n_left=80, n_right=200, d=120, seed=1):
+    """Degrees large enough for the multicolor estimators to certify."""
+    return random_left_regular(n_left, n_right, d, seed=seed)
+
+
+class TestWeakMulticolor:
+    def test_derandomized_sees_all_palette_colors(self):
+        inst = dense_instance()
+        palette = weak_multicolor_required_colors(inst.n)
+        coloring = weak_multicolor_splitting(inst)
+        for u in range(inst.n_left):
+            seen = {coloring[v] for v in inst.left_neighbors(u)}
+            assert len(seen) == palette
+
+    def test_uses_at_most_palette_colors(self):
+        inst = dense_instance(seed=2)
+        palette = weak_multicolor_required_colors(inst.n)
+        coloring = weak_multicolor_splitting(inst)
+        assert max(coloring) < palette
+
+    def test_randomized_variant_usually_works(self):
+        inst = dense_instance(seed=3)
+        coloring = weak_multicolor_splitting(inst, randomized=True, seed=4)
+        palette = weak_multicolor_required_colors(inst.n)
+        # no certificate, but with d = 120 >> palette ~ 17 it should be fine
+        missing = sum(
+            1
+            for u in range(inst.n_left)
+            if len({coloring[v] for v in inst.left_neighbors(u)}) < palette
+        )
+        assert missing <= inst.n_left // 10
+
+    def test_strict_rejects_thin_instances(self):
+        inst = random_left_regular(200, 100, 6, seed=5)
+        with pytest.raises(DerandomizationError):
+            weak_multicolor_splitting(inst)
+
+    def test_rounds_charged(self):
+        inst = dense_instance(seed=6)
+        led = RoundLedger()
+        weak_multicolor_splitting(inst, ledger=led)
+        assert "slocal-conversion" in led.breakdown()
+
+
+class TestMulticolorSplitting:
+    def test_valid_output(self):
+        inst = dense_instance(seed=7)
+        coloring = multicolor_splitting(inst, num_colors=8, lam=0.5)
+        assert is_multicolor_splitting(inst, coloring, num_colors=8, lam=0.5)
+
+    def test_uses_c_prime_colors(self):
+        """λ >= 2/3 uses exactly 3 colors per the proof."""
+        inst = dense_instance(seed=8)
+        coloring = multicolor_splitting(inst, num_colors=10, lam=0.7)
+        assert max(coloring) <= 2
+
+    def test_small_lambda_more_colors(self):
+        inst = dense_instance(d=150, seed=9)
+        coloring = multicolor_splitting(inst, num_colors=12, lam=0.3)
+        assert max(coloring) <= math.ceil(3 / 0.3)
+        assert is_multicolor_splitting(inst, coloring, num_colors=12, lam=0.3)
+
+    def test_lambda_below_2_over_c_rejected(self):
+        inst = dense_instance(seed=10)
+        with pytest.raises(ValueError):
+            multicolor_splitting(inst, num_colors=4, lam=0.1)
+
+    def test_randomized_variant(self):
+        inst = dense_instance(d=150, seed=11)
+        coloring = multicolor_splitting(inst, num_colors=8, lam=0.5, randomized=True, seed=12)
+        bad = multicolor_violations(inst, coloring, num_colors=8, lam=0.5)
+        assert len(bad) <= inst.n_left // 10
+
+
+class TestRainbowSelection:
+    def test_selects_distinct_colors(self):
+        inst = BipartiteInstance(1, 5, [(0, v) for v in range(5)])
+        sub, _ = select_rainbow_neighbors(inst, [0, 1, 2, 0, 1], count=3)
+        assert sub.left_degree(0) == 3
+        # kept neighbors have pairwise distinct colors by construction
+
+    def test_raises_when_not_enough_colors(self):
+        inst = BipartiteInstance(1, 4, [(0, v) for v in range(4)])
+        with pytest.raises(ValueError):
+            select_rainbow_neighbors(inst, [0, 0, 0, 1], count=3)
+
+
+class TestHardnessDirections:
+    def test_weak_splitting_from_multicolor(self):
+        """Theorem 3.2's reduction, end to end."""
+        inst = dense_instance(n_left=60, n_right=150, d=130, seed=13)
+        multicolor = weak_multicolor_splitting(inst)
+        led = RoundLedger()
+        coloring = weak_splitting_from_multicolor(inst, multicolor, ledger=led)
+        assert is_weak_splitting(inst, coloring)
+        assert "weak-splitting-via-multicolor-classes" in led.breakdown()
+
+    def test_boost_reaches_small_fraction(self):
+        """Theorem 3.3's iterated reduction shrinks per-color classes."""
+        inst = dense_instance(n_left=50, n_right=300, d=200, seed=14)
+        flat, palette, iters = boost_multicolor_splitting(
+            inst, num_colors=6, lam=0.5, alpha=1.0
+        )
+        assert iters >= 1
+        assert palette <= 6 ** iters
+        # per-color class sizes should have dropped markedly below degree
+        worst = 0
+        for u in range(inst.n_left):
+            counts = {}
+            for v in inst.left_neighbors(u):
+                counts[flat[v]] = counts.get(flat[v], 0) + 1
+            worst = max(worst, max(counts.values()))
+        assert worst < 200 * 0.5  # at least one halving engaged
+
+    def test_boost_palette_bounded(self):
+        inst = dense_instance(n_left=40, n_right=200, d=150, seed=15)
+        _, palette, iters = boost_multicolor_splitting(
+            inst, num_colors=5, lam=0.5, alpha=1.0, max_iterations=2
+        )
+        assert palette <= 5**2

@@ -1,0 +1,71 @@
+"""Tests for the paper's parameter thresholds."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    UniformSplittingSpec,
+    multicolor_threshold,
+    randomized_min_degree,
+    theorem_25_iterations,
+    theorem_25_trim_threshold,
+    weak_multicolor_bound_degree,
+    weak_multicolor_required_colors,
+    weak_splitting_min_degree,
+)
+
+
+class TestThresholds:
+    def test_weak_splitting_min_degree(self):
+        assert weak_splitting_min_degree(1024) == 20.0
+
+    def test_trim_threshold_is_24x(self):
+        assert theorem_25_trim_threshold(1024) == 24 * weak_splitting_min_degree(1024)
+
+    def test_iterations_formula(self):
+        # delta = 96 log n -> k = floor(log(8)) = 3
+        n = 1024
+        delta = int(96 * math.log2(n))
+        assert theorem_25_iterations(delta, n) == 3
+
+    def test_iterations_requires_margin(self):
+        with pytest.raises(ValueError):
+            theorem_25_iterations(10, 1024)  # 10 < 12 log n
+
+    def test_weak_multicolor_bound_degree(self):
+        n = 256
+        expected = 2 * (8 + 1) * math.log(256)
+        assert weak_multicolor_bound_degree(n) == pytest.approx(expected)
+
+    def test_required_colors_is_ceil_2log(self):
+        assert weak_multicolor_required_colors(256) == 16
+        assert weak_multicolor_required_colors(300) == math.ceil(2 * math.log2(300))
+
+    def test_multicolor_threshold_ceils(self):
+        assert multicolor_threshold(10, 0.25) == 3
+        assert multicolor_threshold(8, 0.25) == 2
+
+    def test_randomized_min_degree_grows_with_r(self):
+        assert randomized_min_degree(100, 1000) > randomized_min_degree(2, 1000)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            weak_splitting_min_degree(1)
+
+
+class TestUniformSpec:
+    def test_bounds(self):
+        spec = UniformSplittingSpec(eps=0.1, min_constrained_degree=10)
+        assert spec.lo(100) == pytest.approx(40)
+        assert spec.hi(100) == pytest.approx(60)
+
+    def test_constrains(self):
+        spec = UniformSplittingSpec(eps=0.1, min_constrained_degree=10)
+        assert spec.constrains(10) and not spec.constrains(9)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            UniformSplittingSpec(eps=0.6, min_constrained_degree=5)
+        with pytest.raises(ValueError):
+            UniformSplittingSpec(eps=0.0, min_constrained_degree=5)

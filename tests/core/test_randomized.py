@@ -1,0 +1,84 @@
+"""Tests for Theorem 1.2 (randomized weak splitting)."""
+
+import pytest
+
+from repro.bipartite import (
+    BipartiteInstance,
+    random_left_regular,
+    random_near_regular,
+    random_skewed,
+)
+from repro.core import is_weak_splitting, randomized_weak_splitting, solve_component
+from repro.local import RoundLedger
+
+
+class TestRandomized:
+    def test_shattering_regime(self):
+        """δ between c·log(r log n) and 2 log n: the full pipeline."""
+        inst = random_left_regular(800, 800, 12, seed=1)
+        led = RoundLedger()
+        coloring = randomized_weak_splitting(inst, seed=2, ledger=led)
+        assert is_weak_splitting(inst, coloring)
+        assert "shattering" in led.breakdown()
+
+    def test_zero_round_regime(self):
+        """δ > 2 log n: single-round coin flip suffices."""
+        inst = random_left_regular(200, 200, 30, seed=3)
+        led = RoundLedger()
+        coloring = randomized_weak_splitting(inst, seed=4, ledger=led)
+        assert is_weak_splitting(inst, coloring)
+        assert "zero-round-coloring+check" in led.breakdown()
+
+    def test_high_degree_constraints_virtualized(self):
+        """Skewed instances go through the Section 2.4 normalization."""
+        inst = random_skewed(400, 400, 12, 200, seed=5)
+        coloring = randomized_weak_splitting(inst, seed=6)
+        assert is_weak_splitting(inst, coloring)
+
+    def test_near_regular(self):
+        inst = random_near_regular(600, 600, 11, 14, seed=7)
+        coloring = randomized_weak_splitting(inst, seed=8)
+        assert is_weak_splitting(inst, coloring)
+
+    def test_reproducible(self):
+        inst = random_left_regular(300, 300, 11, seed=9)
+        a = randomized_weak_splitting(inst, seed=10)
+        b = randomized_weak_splitting(inst, seed=10)
+        assert a == b
+
+    def test_rejects_degree_one_constraint(self):
+        inst = BipartiteInstance(1, 1, [(0, 0)])
+        with pytest.raises(ValueError):
+            randomized_weak_splitting(inst, seed=1)
+
+    def test_parallel_component_accounting(self):
+        inst = random_left_regular(1000, 1000, 11, seed=11)
+        led = RoundLedger()
+        randomized_weak_splitting(inst, seed=12, ledger=led)
+        assert "residual-components" in led.breakdown()
+
+
+class TestSolveComponent:
+    def test_empty_component(self):
+        assert solve_component(BipartiteInstance(0, 0, [])) == []
+
+    def test_right_only_component(self):
+        coloring = solve_component(BipartiteInstance(0, 3, []))
+        assert len(coloring) == 3
+
+    def test_tiny_bruteforce_fallback(self):
+        # delta = 2 but n too small for any certificate: bruteforce kicks in
+        inst = BipartiteInstance(2, 3, [(0, 0), (0, 1), (1, 1), (1, 2)])
+        coloring = solve_component(inst)
+        assert is_weak_splitting(inst, coloring)
+
+    def test_unsolvable_component_raises(self):
+        inst = BipartiteInstance(1, 1, [(0, 0)])
+        with pytest.raises(RuntimeError):
+            solve_component(inst)
+
+    def test_deterministic_path_for_good_components(self):
+        inst = random_left_regular(40, 40, 16, seed=13)
+        led = RoundLedger()
+        coloring = solve_component(inst, ledger=led)
+        assert is_weak_splitting(inst, coloring)

@@ -1,0 +1,115 @@
+"""Tests for Degree–Rank Reductions I and II (Lemmas 2.4 and 2.6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bipartite import random_left_regular, regular_bipartite
+from repro.core import (
+    degree_rank_reduction_one,
+    degree_rank_reduction_two,
+    lemma_24_delta_lower_bound,
+    lemma_24_rank_upper_bound,
+)
+from repro.local import RoundLedger
+from repro.utils.mathx import ceil_log2
+
+
+class TestReductionOne:
+    def test_trace_lengths(self):
+        inst = random_left_regular(60, 60, 32, seed=1)
+        _, _, trace = degree_rank_reduction_one(inst, eps=0.2, iterations=3)
+        assert trace.iterations == 3
+        assert len(trace.deltas) == 4
+
+    def test_lemma_24_delta_bound_holds(self):
+        """δ_k > ((1−ε)/2)^k δ − 2 after every iteration."""
+        inst = random_left_regular(80, 80, 48, seed=2)
+        eps = 0.25
+        _, _, trace = degree_rank_reduction_one(inst, eps=eps, iterations=4)
+        for k, delta_k in enumerate(trace.deltas):
+            assert delta_k > lemma_24_delta_lower_bound(inst.delta, eps, k) - 1e-9
+
+    def test_lemma_24_rank_bound_holds(self):
+        """r_k < ((1+ε)/2)^k r + 3 after every iteration."""
+        inst = random_left_regular(80, 80, 48, seed=3)
+        eps = 0.25
+        _, _, trace = degree_rank_reduction_one(inst, eps=eps, iterations=4)
+        for k, rank_k in enumerate(trace.ranks):
+            assert rank_k < lemma_24_rank_upper_bound(trace.ranks[0], eps, k) + 1e-9
+
+    def test_edges_subset_of_original(self):
+        inst = random_left_regular(30, 30, 16, seed=4)
+        reduced, emap, _ = degree_rank_reduction_one(inst, eps=0.3, iterations=2)
+        for new_id, old_id in enumerate(emap):
+            assert reduced.edges[new_id] == inst.edges[old_id]
+
+    def test_roughly_halves_per_iteration(self):
+        inst = regular_bipartite(100, 100, 40)
+        _, _, trace = degree_rank_reduction_one(inst, eps=0.1, iterations=1)
+        assert trace.deltas[1] >= inst.delta // 2 - 2
+        assert trace.Deltas[1] <= math.ceil(inst.Delta / 2) + 1
+
+    def test_ledger_charged_per_iteration(self):
+        inst = random_left_regular(30, 30, 16, seed=5)
+        led = RoundLedger()
+        degree_rank_reduction_one(inst, eps=0.2, iterations=3, ledger=led)
+        assert len(led) == 3
+
+    def test_zero_iterations_identity(self):
+        inst = random_left_regular(10, 10, 4, seed=6)
+        reduced, emap, trace = degree_rank_reduction_one(inst, eps=0.2, iterations=0)
+        assert reduced.edges == inst.edges and trace.iterations == 0
+
+    def test_rejects_bad_eps(self):
+        inst = random_left_regular(5, 5, 2, seed=7)
+        with pytest.raises(ValueError):
+            degree_rank_reduction_one(inst, eps=0, iterations=1)
+
+
+class TestReductionTwo:
+    def test_variables_keep_ceil_half(self):
+        """Every variable keeps exactly ⌈d/2⌉ edges per iteration."""
+        inst = random_left_regular(40, 40, 20, seed=8)
+        reduced, _, trace = degree_rank_reduction_two(inst, eps=0.01, iterations=1)
+        for v in range(inst.n_right):
+            assert reduced.right_degree(v) == math.ceil(inst.right_degree(v) / 2)
+
+    def test_lemma_26_rank_one_after_ceil_log_r(self):
+        inst = regular_bipartite(30, 60, 24)  # rank = 12
+        k = ceil_log2(inst.rank)
+        reduced, _, _ = degree_rank_reduction_two(inst, eps=0.01, iterations=k)
+        assert reduced.rank == 1
+
+    def test_rank_never_below_one(self):
+        inst = regular_bipartite(30, 60, 24)
+        reduced, _, _ = degree_rank_reduction_two(inst, eps=0.01, iterations=10)
+        assert reduced.stats().min_rank >= 1
+        assert reduced.rank == 1
+
+    def test_constraints_lose_at_most_half_plus_one(self):
+        inst = random_left_regular(40, 40, 20, seed=9)
+        reduced, _, _ = degree_rank_reduction_two(inst, eps=0.001, iterations=1)
+        for u in range(inst.n_left):
+            d = inst.left_degree(u)
+            # head-loses rule with discrepancy <= 1: keep >= (d-1)/2 - 1
+            assert reduced.left_degree(u) >= (d - 1) // 2 - 1
+
+    def test_edge_map_correct(self):
+        inst = random_left_regular(20, 20, 10, seed=10)
+        reduced, emap, _ = degree_rank_reduction_two(inst, eps=0.05, iterations=2)
+        for new_id, old_id in enumerate(emap):
+            assert reduced.edges[new_id] == inst.edges[old_id]
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_rank_halving_exact(self, r):
+        """r_{k+1} = ceil(r_k / 2) for the max-degree variable."""
+        inst = regular_bipartite(r, 1, 1)  # one variable of degree r... wait
+        # Build: single right node with degree r
+        from repro.bipartite import BipartiteInstance
+
+        inst = BipartiteInstance(r, 1, [(u, 0) for u in range(r)])
+        reduced, _, _ = degree_rank_reduction_two(inst, eps=0.01, iterations=1)
+        assert reduced.right_degree(0) == math.ceil(r / 2)

@@ -1,0 +1,123 @@
+"""Tests for the problem verifiers."""
+
+import pytest
+
+from repro.bipartite import BLUE, RED, BipartiteInstance
+from repro.core import (
+    UniformSplittingSpec,
+    is_multicolor_splitting,
+    is_uniform_splitting,
+    is_weak_multicolor_splitting,
+    is_weak_splitting,
+    multicolor_violations,
+    uniform_splitting_violations,
+    weak_multicolor_violations,
+    weak_splitting_violations,
+)
+from tests.conftest import cycle_graph
+
+
+def two_constraints():
+    # u0 - v0,v1 ; u1 - v1,v2
+    return BipartiteInstance(2, 3, [(0, 0), (0, 1), (1, 1), (1, 2)])
+
+
+class TestWeakSplitting:
+    def test_valid(self):
+        assert is_weak_splitting(two_constraints(), [RED, BLUE, RED])
+
+    def test_monochromatic_constraint_flagged(self):
+        assert weak_splitting_violations(two_constraints(), [RED, RED, BLUE]) == [0]
+
+    def test_uncolored_neighbor_does_not_satisfy(self):
+        assert weak_splitting_violations(two_constraints(), [None, BLUE, RED]) == [0]
+
+    def test_min_degree_exempts_small_constraints(self):
+        inst = BipartiteInstance(2, 3, [(0, 0), (0, 1), (1, 2)])
+        # u1 has degree 1: monochromatic by force, exempt with min_degree=2
+        assert is_weak_splitting(inst, [RED, BLUE, RED], min_degree=2)
+        assert not is_weak_splitting(inst, [RED, BLUE, RED], min_degree=1)
+
+    def test_isolated_constraint_handling(self):
+        inst = BipartiteInstance(1, 1, [])
+        assert is_weak_splitting(inst, [RED])  # degree 0 < default min 1
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            is_weak_splitting(two_constraints(), [RED, BLUE])
+
+
+class TestWeakMulticolor:
+    def test_small_degree_exempt(self):
+        inst = two_constraints()
+        # n = 5 -> bound degree huge; everything exempt
+        assert is_weak_multicolor_splitting(inst, [0, 0, 0])
+
+    def test_explicit_thresholds(self):
+        inst = BipartiteInstance(1, 4, [(0, v) for v in range(4)])
+        ok = weak_multicolor_violations(
+            inst, [0, 1, 2, 0], bound_degree=3, required_colors=3
+        )
+        assert ok == []
+        bad = weak_multicolor_violations(
+            inst, [0, 1, 0, 1], bound_degree=3, required_colors=3
+        )
+        assert bad == [0]
+
+    def test_uncolored_ignored_for_distinctness(self):
+        inst = BipartiteInstance(1, 3, [(0, v) for v in range(3)])
+        bad = weak_multicolor_violations(
+            inst, [0, None, 1], bound_degree=2, required_colors=3
+        )
+        assert bad == [0]
+
+
+class TestMulticolor:
+    def test_valid(self):
+        inst = BipartiteInstance(1, 4, [(0, v) for v in range(4)])
+        assert is_multicolor_splitting(inst, [0, 1, 2, 3], num_colors=4, lam=0.25)
+
+    def test_overload_flagged(self):
+        inst = BipartiteInstance(1, 4, [(0, v) for v in range(4)])
+        # cap = ceil(0.25 * 4) = 1; color 0 used twice
+        assert multicolor_violations(inst, [0, 0, 1, 2], num_colors=3, lam=0.25) == [0]
+
+    def test_out_of_palette_rejected(self):
+        inst = BipartiteInstance(1, 2, [(0, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            multicolor_violations(inst, [0, 5], num_colors=3, lam=0.5)
+
+    def test_uncolored_rejected(self):
+        inst = BipartiteInstance(1, 2, [(0, 0), (0, 1)])
+        with pytest.raises(ValueError):
+            multicolor_violations(inst, [0, None], num_colors=3, lam=0.5)
+
+    def test_min_degree_exemption(self):
+        inst = BipartiteInstance(2, 4, [(0, 0), (0, 1), (0, 2), (0, 3), (1, 0)])
+        coloring = [0, 0, 0, 0]
+        assert multicolor_violations(inst, coloring, 2, 0.5, min_degree=5) == []
+
+
+class TestUniform:
+    def test_balanced_cycle(self):
+        adj = cycle_graph(4)
+        spec = UniformSplittingSpec(eps=0.4, min_constrained_degree=2)
+        # [R, R, B, B] gives every C4 node one red and one blue neighbor.
+        assert is_uniform_splitting(adj, [RED, RED, BLUE, BLUE], spec)
+
+    def test_unbalanced_flagged(self):
+        adj = cycle_graph(4)
+        spec = UniformSplittingSpec(eps=0.1, min_constrained_degree=2)
+        bad = uniform_splitting_violations(adj, [RED, RED, RED, RED], spec)
+        assert bad == [0, 1, 2, 3]
+
+    def test_low_degree_unconstrained(self):
+        adj = [[1], [0]]
+        spec = UniformSplittingSpec(eps=0.1, min_constrained_degree=5)
+        assert is_uniform_splitting(adj, [RED, RED], spec)
+
+    def test_partition_length_checked(self):
+        with pytest.raises(ValueError):
+            uniform_splitting_violations(
+                cycle_graph(3), [RED], UniformSplittingSpec(eps=0.1, min_constrained_degree=1)
+            )

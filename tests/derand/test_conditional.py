@@ -1,0 +1,51 @@
+"""Tests for the greedy conditional-expectation driver."""
+
+import pytest
+
+from repro.bipartite import BipartiteInstance, random_left_regular
+from repro.derand import (
+    DerandomizationError,
+    WeakSplittingEstimator,
+    greedy_minimize,
+)
+from repro.core import is_weak_splitting
+
+
+class TestGreedyMinimize:
+    def test_success_when_certified(self):
+        # delta = 8, n = 24 + 40 = 64 constraints... 2*2^-8 * 24 = 0.1875 < 1
+        inst = random_left_regular(24, 40, 8, seed=1)
+        est = WeakSplittingEstimator(inst)
+        assert est.value() < 1
+        coloring = greedy_minimize(est, range(inst.n_right))
+        assert is_weak_splitting(inst, coloring)
+
+    def test_colors_every_node_in_order(self):
+        inst = random_left_regular(10, 15, 8, seed=2)
+        coloring = greedy_minimize(WeakSplittingEstimator(inst), range(inst.n_right))
+        assert all(c in (0, 1) for c in coloring)
+
+    def test_strict_raises_when_uncertified(self):
+        # degree 1 constraints: initial value = 2 * 0.5 * n_left >= 1
+        inst = BipartiteInstance(2, 2, [(0, 0), (1, 1)])
+        with pytest.raises(DerandomizationError):
+            greedy_minimize(WeakSplittingEstimator(inst), range(2))
+
+    def test_non_strict_runs_anyway(self):
+        inst = BipartiteInstance(1, 2, [(0, 0), (0, 1)])
+        est = WeakSplittingEstimator(inst)
+        coloring = greedy_minimize(est, range(2), strict=False)
+        # degree-2 constraint: greedy still finds red+blue
+        assert sorted(coloring) == [0, 1]
+
+    def test_duplicate_order_rejected(self):
+        inst = random_left_regular(4, 6, 5, seed=3)
+        est = WeakSplittingEstimator(inst)
+        with pytest.raises(ValueError):
+            greedy_minimize(est, [0, 0, 1, 2, 3, 4], strict=False)
+
+    def test_arbitrary_order_still_valid(self):
+        inst = random_left_regular(20, 30, 9, seed=4)
+        order = sorted(range(30), key=lambda v: -v)
+        coloring = greedy_minimize(WeakSplittingEstimator(inst), order)
+        assert is_weak_splitting(inst, coloring)

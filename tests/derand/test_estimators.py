@@ -1,0 +1,167 @@
+"""Tests for the pessimistic estimators."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bipartite import BLUE, RED, BipartiteInstance, random_left_regular
+from repro.derand import (
+    MissingColorEstimator,
+    OverloadEstimator,
+    WeakSplittingEstimator,
+)
+
+
+def star(d: int) -> BipartiteInstance:
+    """One constraint with d private variables."""
+    return BipartiteInstance(1, d, [(0, v) for v in range(d)])
+
+
+class TestWeakSplittingEstimator:
+    def test_initial_value_formula(self):
+        est = WeakSplittingEstimator(star(4))
+        assert est.value() == pytest.approx(2 * 0.5**4)
+
+    def test_initial_sums_over_constraints(self):
+        inst = BipartiteInstance(2, 4, [(0, 0), (0, 1), (1, 2), (1, 3)])
+        est = WeakSplittingEstimator(inst)
+        assert est.value() == pytest.approx(2 * (2 * 0.5**2))
+
+    def test_gain_matches_commit(self):
+        inst = random_left_regular(10, 12, 4, seed=1)
+        est = WeakSplittingEstimator(inst)
+        g = est.gain(0, RED)
+        before = est.value()
+        est.commit(0, RED)
+        assert est.value() == pytest.approx(before + g)
+
+    def test_martingale_average_over_colors(self):
+        """E over the two colors of the new value equals the old value."""
+        inst = random_left_regular(8, 10, 5, seed=2)
+        est = WeakSplittingEstimator(inst)
+        for v in range(inst.n_right):
+            avg_gain = (est.gain(v, RED) + est.gain(v, BLUE)) / 2
+            assert avg_gain == pytest.approx(0.0, abs=1e-12)
+            est.commit(v, est.best_color(v))
+
+    def test_best_color_never_increases(self):
+        inst = random_left_regular(8, 10, 5, seed=3)
+        est = WeakSplittingEstimator(inst)
+        for v in range(inst.n_right):
+            c = est.best_color(v)
+            assert est.gain(v, c) <= 1e-12
+            est.commit(v, c)
+
+    def test_final_value_counts_violations(self):
+        inst = star(2)
+        est = WeakSplittingEstimator(inst)
+        est.commit(0, RED)
+        est.commit(1, RED)  # monochromatic: 1 violation (no blue)
+        assert est.violations() == 1
+        assert est.value() == pytest.approx(1.0)
+
+    def test_satisfied_constraint_contributes_zero(self):
+        inst = star(2)
+        est = WeakSplittingEstimator(inst)
+        est.commit(0, RED)
+        est.commit(1, BLUE)
+        assert est.violations() == 0
+        assert est.value() == pytest.approx(0.0)
+
+    def test_invalid_color_rejected(self):
+        with pytest.raises(ValueError):
+            WeakSplittingEstimator(star(2)).gain(0, 5)
+
+
+class TestMissingColorEstimator:
+    def test_initial_value_formula(self):
+        est = MissingColorEstimator(star(6), palette_size=3)
+        assert est.value() == pytest.approx(3 * (2 / 3) ** 6)
+
+    def test_martingale_over_palette(self):
+        inst = random_left_regular(6, 9, 5, seed=4)
+        est = MissingColorEstimator(inst, palette_size=4)
+        for v in range(inst.n_right):
+            avg = sum(est.gain(v, c) for c in range(4)) / 4
+            assert avg == pytest.approx(0.0, abs=1e-12)
+            est.commit(v, est.best_color(v))
+
+    def test_all_colors_seen_means_zero(self):
+        est = MissingColorEstimator(star(3), palette_size=3)
+        for v, c in enumerate([0, 1, 2]):
+            est.commit(v, c)
+        assert est.value() == pytest.approx(0.0)
+        assert est.violations() == 0
+
+    def test_missing_color_counted(self):
+        est = MissingColorEstimator(star(3), palette_size=3)
+        for v in range(3):
+            est.commit(v, 0)
+        assert est.violations() == 1  # colors 1 and 2 missing -> constraint fails
+        assert est.value() == pytest.approx(2.0)  # two missing (u, x) pairs
+
+    def test_rejects_tiny_palette(self):
+        with pytest.raises(ValueError):
+            MissingColorEstimator(star(3), palette_size=1)
+
+
+class TestOverloadEstimator:
+    def test_requires_t_above_one(self):
+        with pytest.raises(ValueError):
+            OverloadEstimator(star(10), num_colors=4, lam=0.2)  # t = 0.8
+
+    def test_initial_value_matches_equation_2_shape(self):
+        d, C, lam = 60, 10, 0.5
+        est = OverloadEstimator(star(d), num_colors=C, lam=lam)
+        # per (u, x): phi^d / t^(T+1); summed over C colors
+        t = lam * C
+        phi = 1 - 1 / C + t / C
+        expected = C * phi**d / t ** (math.ceil(lam * d) + 1)
+        assert est.value() == pytest.approx(expected)
+
+    def test_martingale_over_colors(self):
+        inst = random_left_regular(5, 8, 6, seed=5)
+        est = OverloadEstimator(inst, num_colors=4, lam=0.6)
+        for v in range(inst.n_right):
+            avg = sum(est.gain(v, c) for c in range(4)) / 4
+            assert avg == pytest.approx(0.0, abs=1e-9)
+            est.commit(v, est.best_color(v))
+
+    def test_violation_detection(self):
+        est = OverloadEstimator(star(4), num_colors=2, lam=0.55)  # cap ceil(2.2)=3
+        for v in range(4):
+            est.commit(v, 0)
+        assert est.violations() == 1
+
+    def test_within_cap_no_violation(self):
+        est = OverloadEstimator(star(4), num_colors=2, lam=0.75)  # cap 3
+        for v, c in enumerate([0, 0, 0, 1]):
+            est.commit(v, c)
+        assert est.violations() == 0
+
+    def test_estimator_dominates_violations(self):
+        """Final estimator value >= number of violated constraints."""
+        rng = random.Random(6)
+        inst = random_left_regular(6, 10, 5, seed=7)
+        est = OverloadEstimator(inst, num_colors=3, lam=0.5)
+        for v in range(inst.n_right):
+            est.commit(v, rng.randrange(3))
+        assert est.value() >= est.violations() - 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_random_play_keeps_weak_estimator_bounded_on_average(seed):
+    """Committing the greedy argmin never exceeds the initial value."""
+    inst = random_left_regular(6, 8, 4, seed=seed % 1000)
+    est = WeakSplittingEstimator(inst)
+    initial = est.value()
+    rng = random.Random(seed)
+    order = list(range(inst.n_right))
+    rng.shuffle(order)
+    for v in order:
+        c = est.best_color(v)
+        est.commit(v, c)
+    assert est.value() <= initial + 1e-9

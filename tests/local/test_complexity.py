@@ -1,0 +1,75 @@
+"""Tests for the analytic round-complexity formulas."""
+
+import pytest
+
+from repro.local import (
+    degree_splitting_rounds,
+    degree_splitting_rounds_simplified,
+    log_star,
+    power_graph_coloring_rounds,
+    slocal_conversion_rounds,
+)
+
+
+class TestLogStar:
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (4, 2), (16, 3), (65536, 4)])
+    def test_known_values(self, n, expected):
+        assert log_star(n) == expected
+
+    def test_monotone(self):
+        assert log_star(2**70) >= log_star(1000) >= log_star(4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_star(-1)
+
+
+class TestDegreeSplittingRounds:
+    def test_scales_inversely_with_eps(self):
+        assert degree_splitting_rounds(0.01, 1000) > degree_splitting_rounds(0.1, 1000)
+
+    def test_log_n_tail_deterministic(self):
+        r1 = degree_splitting_rounds(0.1, 2**10)
+        r2 = degree_splitting_rounds(0.1, 2**20)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_randomized_is_cheaper(self):
+        n = 2**20
+        assert degree_splitting_rounds(0.1, n, randomized=True) < degree_splitting_rounds(0.1, n)
+
+    def test_randomized_loglog_tail(self):
+        # log log grows from 2^16 -> 4 to 2^256 -> 8: exactly doubles
+        r1 = degree_splitting_rounds(0.1, 2**16, randomized=True)
+        r2 = degree_splitting_rounds(0.1, 2**256, randomized=True)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            degree_splitting_rounds(0, 100)
+        with pytest.raises(ValueError):
+            degree_splitting_rounds(0.1, 1)
+
+    def test_simplified_bound_close_in_shape(self):
+        full = degree_splitting_rounds(0.05, 10**6)
+        simple = degree_splitting_rounds_simplified(0.05, 10**6)
+        assert 0.1 < simple / full < 10
+
+
+class TestConversions:
+    def test_slocal_rounds_scale_with_colors(self):
+        assert slocal_conversion_rounds(10) == 2 * slocal_conversion_rounds(5)
+
+    def test_slocal_radius_factor(self):
+        assert slocal_conversion_rounds(6, radius=4) == 2 * slocal_conversion_rounds(6, radius=2)
+
+    def test_slocal_rejects_zero_colors(self):
+        with pytest.raises(ValueError):
+            slocal_conversion_rounds(0)
+
+    def test_power_coloring_has_log_star_floor(self):
+        assert power_graph_coloring_rounds(0, 2**16) == log_star(2**16)
+
+    def test_power_coloring_linear_in_degree(self):
+        big = power_graph_coloring_rounds(1000, 100)
+        small = power_graph_coloring_rounds(10, 100)
+        assert big - small == 990

@@ -1,0 +1,31 @@
+"""Tests for identifier assignment schemes."""
+
+from repro.local import sequential_ids, shuffled_ids, sparse_random_ids
+
+
+def test_sequential():
+    assert sequential_ids(4) == [0, 1, 2, 3]
+
+
+def test_sequential_empty():
+    assert sequential_ids(0) == []
+
+
+def test_shuffled_is_permutation():
+    ids = shuffled_ids(20, seed=1)
+    assert sorted(ids) == list(range(20))
+
+
+def test_shuffled_seeded():
+    assert shuffled_ids(20, seed=1) == shuffled_ids(20, seed=1)
+    assert shuffled_ids(20, seed=1) != shuffled_ids(20, seed=2)
+
+
+def test_sparse_unique_and_in_universe():
+    ids = sparse_random_ids(50, seed=3, universe_factor=100)
+    assert len(set(ids)) == 50
+    assert all(0 <= x < 5000 for x in ids)
+
+
+def test_sparse_empty():
+    assert sparse_random_ids(0, seed=1) == []

@@ -1,0 +1,64 @@
+"""Tests for the round ledger."""
+
+import pytest
+
+from repro.local import Charge, RoundLedger
+
+
+class TestCharge:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Charge(label="x", rounds=-1)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Charge(label="x", rounds=1, kind="magic")
+
+
+class TestLedger:
+    def test_total_accumulates(self):
+        led = RoundLedger()
+        led.charge(5, "a")
+        led.charge(7, "b")
+        assert led.total == 12
+
+    def test_breakdown_groups_labels(self):
+        led = RoundLedger()
+        led.charge(5, "a")
+        led.charge(2, "a")
+        led.charge(1, "b")
+        assert led.breakdown() == {"a": 7.0, "b": 1.0}
+
+    def test_kinds_separated(self):
+        led = RoundLedger()
+        led.charge(5, "a")
+        led.charge_simulated(3, "b")
+        assert led.analytic_total() == 5 and led.simulated_total() == 3
+
+    def test_parallel_takes_max(self):
+        children = []
+        for r in (3, 9, 5):
+            c = RoundLedger()
+            c.charge(r, "work")
+            children.append(c)
+        led = RoundLedger()
+        led.charge_parallel(children, "components")
+        assert led.total == 9
+
+    def test_parallel_empty_charges_zero(self):
+        led = RoundLedger()
+        led.charge_parallel([], "none")
+        assert led.total == 0
+
+    def test_merge_is_sequential(self):
+        a, b = RoundLedger(), RoundLedger()
+        a.charge(2, "x")
+        b.charge(3, "y")
+        a.merge(b)
+        assert a.total == 5 and len(a) == 2
+
+    def test_iteration_order_preserved(self):
+        led = RoundLedger()
+        led.charge(1, "first")
+        led.charge(2, "second")
+        assert [c.label for c in led] == ["first", "second"]

@@ -1,0 +1,146 @@
+"""Tests for the synchronous LOCAL simulator."""
+
+from typing import Dict
+
+import pytest
+
+from repro.bipartite import BipartiteInstance
+from repro.local import LocalAlgorithm, Network, NodeView, run_local
+from tests.conftest import cycle_graph, path_graph
+
+
+class Flood(LocalAlgorithm):
+    """Each node learns the minimum uid in its component (classic flooding)."""
+
+    def init(self, view: NodeView) -> None:
+        view.state["best"] = view.uid
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, int]:
+        return {p: view.state["best"] for p in range(view.degree)}
+
+    def receive(self, view: NodeView, round_no: int, inbox: Dict[int, int]) -> None:
+        incoming = min(inbox.values(), default=view.state["best"])
+        view.state["best"] = min(view.state["best"], incoming)
+        view.output = view.state["best"]
+
+
+class HaltAfter(LocalAlgorithm):
+    def __init__(self, rounds: int):
+        self.rounds = rounds
+
+    def init(self, view: NodeView) -> None:
+        pass
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, int]:
+        return {}
+
+    def receive(self, view: NodeView, round_no: int, inbox) -> None:
+        if round_no >= self.rounds:
+            view.halted = True
+            view.output = round_no
+
+
+class EchoPorts(LocalAlgorithm):
+    """Sends its uid on every port; records the uid seen per port."""
+
+    def init(self, view: NodeView) -> None:
+        view.state["seen"] = {}
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, int]:
+        return {p: view.uid for p in range(view.degree)}
+
+    def receive(self, view: NodeView, round_no: int, inbox) -> None:
+        view.state["seen"] = dict(inbox)
+        view.output = dict(inbox)
+        view.halted = True
+
+
+class TestNetwork:
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            Network([[1], []])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Network([[5]])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            Network(path_graph(3), ids=[1, 1, 2])
+
+    def test_degree(self):
+        net = Network(path_graph(3))
+        assert [net.degree(i) for i in range(3)] == [1, 2, 1]
+
+    def test_from_bipartite(self):
+        inst = BipartiteInstance(2, 2, [(0, 0), (1, 1), (0, 1)])
+        net = Network.from_bipartite(inst)
+        assert net.n == 4
+        assert net.degree(0) == 2  # left node 0 has two edges
+
+    def test_multi_edge_ports(self):
+        net = Network([[1, 1], [0, 0]])
+        assert net.degree(0) == 2
+
+
+class TestRunLocal:
+    def test_flood_converges_to_min_id(self):
+        net = Network(path_graph(5), ids=[40, 30, 20, 10, 50])
+        result = run_local(net, Flood(), max_rounds=10)
+        assert all(v.output == 10 for v in result.views)
+
+    def test_information_travels_one_hop_per_round(self):
+        # After r rounds, a node knows only uids within distance r.
+        net = Network(path_graph(5), ids=[0, 10, 20, 30, 40])
+        result = run_local(net, Flood(), max_rounds=2)
+        # node 4 (uid 40) is 4 hops from uid 0; after 2 rounds it knows 20.
+        assert result.views[4].output == 20
+
+    def test_halting_stops_early(self):
+        net = Network(cycle_graph(4))
+        result = run_local(net, HaltAfter(3), max_rounds=100)
+        assert result.rounds == 3 and result.completed
+
+    def test_round_cap_reported(self):
+        net = Network(cycle_graph(4))
+        result = run_local(net, HaltAfter(50), max_rounds=5)
+        assert result.rounds == 5 and not result.completed
+
+    def test_port_reciprocity(self):
+        net = Network(path_graph(3), ids=[100, 200, 300])
+        result = run_local(net, EchoPorts(), max_rounds=2)
+        # middle node hears both neighbors, one per port
+        assert sorted(result.views[1].output.values()) == [100, 300]
+
+    def test_multi_edge_message_delivery(self):
+        net = Network([[1, 1], [0, 0]], ids=[7, 8])
+        result = run_local(net, EchoPorts(), max_rounds=2)
+        assert list(result.views[0].output.values()) == [8, 8]
+
+    def test_private_rng_deterministic(self):
+        class CoinOnce(LocalAlgorithm):
+            def init(self, view):
+                view.output = view.rng.random()
+                view.halted = True
+
+            def send(self, view, r):
+                return {}
+
+            def receive(self, view, r, inbox):
+                pass
+
+        net = Network(path_graph(3))
+        a = run_local(net, CoinOnce(), seed=5).outputs()
+        b = run_local(net, CoinOnce(), seed=5).outputs()
+        c = run_local(net, CoinOnce(), seed=6).outputs()
+        assert a == b and a != c
+
+    def test_outputs_helper(self):
+        net = Network(path_graph(2))
+        result = run_local(net, HaltAfter(1), max_rounds=3)
+        assert result.outputs() == [1, 1]
+
+    def test_zero_max_rounds(self):
+        net = Network(path_graph(2))
+        result = run_local(net, Flood(), max_rounds=0)
+        assert result.rounds == 0

@@ -1,0 +1,79 @@
+"""Tests for the Theorem 2.3 degree-splitting substrate."""
+
+import pytest
+
+from repro.local import RoundLedger, degree_splitting_rounds
+from repro.orientation import Multigraph, directed_degree_splitting
+
+
+def big_even_graph():
+    # 3 parallel 20-cycles through the same nodes -> degree 6 everywhere
+    n = 20
+    edges = []
+    for _ in range(3):
+        edges += [(i, (i + 1) % n) for i in range(n)]
+    return Multigraph(n, edges)
+
+
+class TestEulerianEngine:
+    def test_guarantee_holds_for_tiny_eps(self):
+        res = directed_degree_splitting(big_even_graph(), eps=1e-6, n=100)
+        assert res.satisfies_guarantee()
+        assert res.violations() == []
+
+    def test_rounds_follow_theorem_formula(self):
+        led = RoundLedger()
+        res = directed_degree_splitting(big_even_graph(), eps=0.1, n=1000, ledger=led)
+        assert res.rounds == pytest.approx(degree_splitting_rounds(0.1, 1000))
+        assert led.total == pytest.approx(res.rounds)
+
+    def test_randomized_variant_cheaper(self):
+        det = directed_degree_splitting(big_even_graph(), eps=0.1, n=10**6)
+        rnd = directed_degree_splitting(
+            big_even_graph(), eps=0.1, n=10**6, randomized=True
+        )
+        assert rnd.rounds < det.rounds
+
+    def test_engine_recorded(self):
+        res = directed_degree_splitting(big_even_graph(), eps=0.5, n=10)
+        assert res.engine == "eulerian"
+
+
+class TestRandomEngine:
+    def test_zero_rounds(self):
+        res = directed_degree_splitting(
+            big_even_graph(), eps=0.5, n=100, engine="random", seed=1
+        )
+        assert res.rounds == 0
+
+    def test_reproducible(self):
+        a = directed_degree_splitting(
+            big_even_graph(), eps=0.5, n=100, engine="random", seed=5
+        )
+        b = directed_degree_splitting(
+            big_even_graph(), eps=0.5, n=100, engine="random", seed=5
+        )
+        assert a.orientation.direction == b.orientation.direction
+
+    def test_usually_violates_small_eps(self):
+        """With eps tiny, random orientation should break the guarantee on
+        some node of a large graph (this is exactly ablation E15's point)."""
+        n = 200
+        edges = [(i, j) for i in range(n) for j in range(i + 1, min(i + 30, n))]
+        g = Multigraph(n, edges)
+        res = directed_degree_splitting(g, eps=1e-9, n=n, engine="random", seed=3)
+        assert not res.satisfies_guarantee()
+
+
+class TestValidation:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            directed_degree_splitting(big_even_graph(), eps=0, n=10)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            directed_degree_splitting(big_even_graph(), eps=0.1, n=10, engine="magic")
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            directed_degree_splitting(big_even_graph(), eps=0.1, n=1)

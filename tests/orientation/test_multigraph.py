@@ -1,0 +1,69 @@
+"""Tests for multigraphs and orientations."""
+
+import pytest
+
+from repro.orientation import Multigraph, Orientation
+
+
+def square_with_diagonal():
+    return Multigraph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+
+class TestMultigraph:
+    def test_degree_counts_multiplicity(self):
+        g = Multigraph(2, [(0, 1), (0, 1)])
+        assert g.degree(0) == 2 and g.degree(1) == 2
+
+    def test_self_loop_counts_twice(self):
+        g = Multigraph(1, [(0, 0)])
+        assert g.degree(0) == 2
+
+    def test_max_degree(self):
+        assert square_with_diagonal().max_degree() == 3
+
+    def test_empty_graph(self):
+        assert Multigraph(0, []).max_degree() == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Multigraph(2, [(0, 2)])
+
+
+class TestOrientation:
+    def test_head_tail(self):
+        g = Multigraph(2, [(0, 1)])
+        fwd = Orientation(g, (1,))
+        rev = Orientation(g, (-1,))
+        assert fwd.head(0) == 1 and fwd.tail(0) == 0
+        assert rev.head(0) == 0 and rev.tail(0) == 1
+
+    def test_in_out_degrees(self):
+        g = Multigraph(3, [(0, 1), (1, 2), (2, 0)])
+        ori = Orientation(g, (1, 1, 1))  # directed cycle
+        for v in range(3):
+            assert ori.in_degree(v) == 1 and ori.out_degree(v) == 1
+
+    def test_discrepancy_balanced_cycle(self):
+        g = Multigraph(3, [(0, 1), (1, 2), (2, 0)])
+        ori = Orientation(g, (1, 1, 1))
+        assert ori.max_discrepancy() == 0
+
+    def test_discrepancy_star(self):
+        g = Multigraph(4, [(0, 1), (0, 2), (0, 3)])
+        ori = Orientation(g, (1, 1, 1))  # all outgoing from 0
+        assert ori.discrepancy(0) == 3
+        assert ori.discrepancy(1) == 1
+
+    def test_self_loop_never_contributes(self):
+        g = Multigraph(1, [(0, 0)])
+        assert Orientation(g, (1,)).discrepancy(0) == 0
+
+    def test_rejects_wrong_length(self):
+        g = Multigraph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            Orientation(g, (1, 1))
+
+    def test_rejects_bad_direction_value(self):
+        g = Multigraph(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            Orientation(g, (0,))

@@ -1,0 +1,80 @@
+"""Tests for the SLOCAL -> LOCAL conversion via power-graph colorings."""
+
+import pytest
+
+from repro.coloring import distance_coloring
+from repro.local import RoundLedger
+from repro.slocal import (
+    SLocalAlgorithm,
+    run_slocal_via_coloring,
+    verify_power_coloring,
+)
+from tests.conftest import cycle_graph, path_graph
+
+
+class GreedyColor(SLocalAlgorithm):
+    radius = 1
+
+    def process(self, view):
+        used = {
+            view.memory[x].get("color")
+            for x in view.adjacency_in_ball[view.center]
+        }
+        c = 0
+        while c in used:
+            c += 1
+        view.memory[view.center]["color"] = c
+        return c
+
+
+class TestVerifyPowerColoring:
+    def test_proper_distance_one(self):
+        adj = path_graph(4)
+        assert verify_power_coloring(adj, [0, 1, 0, 1], radius=1)
+
+    def test_improper_distance_one(self):
+        adj = path_graph(4)
+        assert not verify_power_coloring(adj, [0, 0, 1, 0], radius=1)
+
+    def test_distance_two_needs_more_colors(self):
+        adj = path_graph(4)
+        assert not verify_power_coloring(adj, [0, 1, 0, 1], radius=2)
+        assert verify_power_coloring(adj, [0, 1, 2, 0], radius=2)
+
+
+class TestConversion:
+    def test_runs_and_is_proper(self):
+        adj = cycle_graph(9)
+        colors, _ = distance_coloring(adj, 1)
+        outputs, _ = run_slocal_via_coloring(adj, GreedyColor(), colors)
+        for v in range(9):
+            for w in adj[v]:
+                assert outputs[v] != outputs[w]
+
+    def test_rejects_improper_coloring(self):
+        adj = path_graph(4)
+        with pytest.raises(ValueError):
+            run_slocal_via_coloring(adj, GreedyColor(), [0, 0, 0, 0])
+
+    def test_charges_rounds_proportional_to_colors(self):
+        adj = cycle_graph(8)
+        colors, num = distance_coloring(adj, 1)
+        led = RoundLedger()
+        run_slocal_via_coloring(adj, GreedyColor(), colors, ledger=led)
+        assert led.total == num * 1  # radius-1 algorithm
+
+    def test_equivalent_to_sequential_color_order(self):
+        """The conversion's output equals sequential (color, id) processing."""
+        from repro.slocal import SLocalSimulator
+
+        adj = cycle_graph(10)
+        colors, _ = distance_coloring(adj, 1)
+        conv_out, _ = run_slocal_via_coloring(adj, GreedyColor(), colors)
+        order = sorted(range(10), key=lambda v: (colors[v], v))
+        seq_out, _ = SLocalSimulator(adj).run(GreedyColor(), order=order)
+        assert conv_out == seq_out
+
+    def test_coloring_length_checked(self):
+        adj = path_graph(3)
+        with pytest.raises(ValueError):
+            run_slocal_via_coloring(adj, GreedyColor(), [0, 1])

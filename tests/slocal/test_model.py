@@ -1,0 +1,114 @@
+"""Tests for the SLOCAL simulator."""
+
+import pytest
+
+from repro.slocal import BallView, SLocalAlgorithm, SLocalSimulator
+from tests.conftest import cycle_graph, path_graph
+
+
+class GreedyColor(SLocalAlgorithm):
+    """Classic SLOCAL(1) greedy coloring: pick the smallest free color."""
+
+    radius = 1
+
+    def process(self, view: BallView):
+        used = {
+            view.memory[x].get("color")
+            for x in view.adjacency_in_ball[view.center]
+        }
+        c = 0
+        while c in used:
+            c += 1
+        view.memory[view.center]["color"] = c
+        return c
+
+
+class BallInspector(SLocalAlgorithm):
+    radius = 2
+
+    def process(self, view: BallView):
+        return sorted(view.nodes)
+
+
+class IllegalWriter(SLocalAlgorithm):
+    """Tries to write a *neighbor's* memory; the simulator must discard it."""
+
+    radius = 1
+
+    def process(self, view: BallView):
+        for x in view.nodes:
+            if x != view.center:
+                view.memory[x]["tainted"] = True
+        return None
+
+
+class TestSimulator:
+    def test_greedy_coloring_is_proper(self):
+        adj = cycle_graph(7)
+        sim = SLocalSimulator(adj)
+        outputs, _ = sim.run(GreedyColor())
+        for v in range(7):
+            for w in adj[v]:
+                assert outputs[v] != outputs[w]
+
+    def test_greedy_coloring_uses_at_most_delta_plus_one(self):
+        adj = cycle_graph(8)
+        sim = SLocalSimulator(adj)
+        outputs, _ = sim.run(GreedyColor())
+        assert max(outputs) <= 2
+
+    def test_order_affects_output(self):
+        adj = path_graph(3)
+        sim = SLocalSimulator(adj)
+        a, _ = sim.run(GreedyColor(), order=[0, 1, 2])
+        b, _ = sim.run(GreedyColor(), order=[1, 0, 2])
+        assert a != b
+
+    def test_order_must_be_permutation(self):
+        sim = SLocalSimulator(path_graph(3))
+        with pytest.raises(ValueError):
+            sim.run(GreedyColor(), order=[0, 0, 1])
+
+    def test_ball_radius_two(self):
+        sim = SLocalSimulator(path_graph(5))
+        outputs, _ = sim.run(BallInspector())
+        assert outputs[0] == [0, 1, 2]
+        assert outputs[2] == [0, 1, 2, 3, 4]
+
+    def test_ball_radius_respected(self):
+        sim = SLocalSimulator(path_graph(9))
+        nodes, dist = sim.ball(4, 2)
+        assert sorted(nodes) == [2, 3, 4, 5, 6]
+        assert dist[2] == 2 and dist[4] == 0
+
+    def test_illegal_writes_discarded(self):
+        sim = SLocalSimulator(path_graph(3))
+        _, memories = sim.run(IllegalWriter())
+        assert not any(m.get("tainted") for m in memories)
+
+    def test_memories_seed_inputs(self):
+        class ReadInput(SLocalAlgorithm):
+            radius = 1
+
+            def process(self, view):
+                return view.memory[view.center].get("x")
+
+        sim = SLocalSimulator(path_graph(2))
+        outputs, _ = sim.run(ReadInput(), memories=[{"x": 10}, {"x": 20}])
+        assert outputs == [10, 20]
+
+    def test_output_recorded_in_memory(self):
+        sim = SLocalSimulator(path_graph(2))
+        _, memories = sim.run(GreedyColor())
+        assert all("output" in m for m in memories)
+
+    def test_uids_visible_in_view(self):
+        class UidReader(SLocalAlgorithm):
+            radius = 1
+
+            def process(self, view):
+                return view.uid[view.center]
+
+        sim = SLocalSimulator(path_graph(3), ids=[7, 8, 9])
+        outputs, _ = sim.run(UidReader())
+        assert outputs == [7, 8, 9]

@@ -1,0 +1,127 @@
+"""Unit tests for repro.utils.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathx import (
+    binomial_tail_upper,
+    ceil_log2,
+    chernoff_above,
+    chernoff_below,
+    clamp,
+    floor_log2,
+    is_power_of_two,
+    ln,
+    log2,
+)
+
+
+class TestLogs:
+    def test_log2_matches_math(self):
+        assert log2(8) == 3.0
+
+    def test_ln_matches_math(self):
+        assert ln(math.e) == pytest.approx(1.0)
+
+    def test_log2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2(0)
+
+    @pytest.mark.parametrize("x,expected", [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10), (1025, 11)])
+    def test_ceil_log2_integers(self, x, expected):
+        assert ceil_log2(x) == expected
+
+    @pytest.mark.parametrize("x,expected", [(1, 0), (2, 1), (3, 1), (4, 2), (1023, 9), (1024, 10)])
+    def test_floor_log2_integers(self, x, expected):
+        assert floor_log2(x) == expected
+
+    def test_ceil_log2_fractional(self):
+        assert ceil_log2(2.5) == 2
+
+    def test_floor_log2_fractional(self):
+        assert floor_log2(2.5) == 1
+
+    def test_ceil_log2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    def test_floor_log2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(-1)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_ceil_floor_sandwich(self, n):
+        assert floor_log2(n) <= math.log2(n) <= ceil_log2(n)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_exact_on_powers_of_two(self, k):
+        n = 1 << (k % 30)
+        assert ceil_log2(n) == floor_log2(n) == (k % 30)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0, 1) == 0.5
+
+    def test_below(self):
+        assert clamp(-3, 0, 1) == 0
+
+    def test_above(self):
+        assert clamp(9, 0, 1) == 1
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(0, 2, 1)
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, -2, 3, 6, 1023])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+
+class TestTailBounds:
+    def test_binomial_tail_vacuous_for_zero_k(self):
+        assert binomial_tail_upper(10, 0, 0.5) == 1.0
+
+    def test_binomial_tail_never_exceeds_one(self):
+        assert binomial_tail_upper(10, 1, 0.9) == 1.0
+
+    def test_binomial_tail_small_for_large_deviation(self):
+        # Bin(100, 0.1): Pr[X >= 50] is tiny; (e*100*0.1/50)^50 << 1
+        assert binomial_tail_upper(100, 50, 0.1) < 1e-12
+
+    def test_binomial_tail_dominates_exact_simple_case(self):
+        # Bin(2, 0.5), k=2: exact 0.25; bound (e*2*0.5/2)^2 = (e/2)^2 ~ 1.85 -> capped 1
+        assert binomial_tail_upper(2, 2, 0.5) >= 0.25
+
+    def test_chernoff_below_at_zero_delta(self):
+        assert chernoff_below(100, 0) == 1.0
+
+    def test_chernoff_below_decreases_in_delta(self):
+        assert chernoff_below(100, 0.5) < chernoff_below(100, 0.1)
+
+    def test_chernoff_below_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            chernoff_below(10, 1.5)
+
+    def test_chernoff_above_large_delta_branch(self):
+        assert 0 < chernoff_above(10, 2.0) < chernoff_above(10, 1.0)
+
+    def test_chernoff_above_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chernoff_above(10, -0.1)
+
+    @given(
+        st.floats(min_value=1, max_value=1e4),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_chernoff_bounds_are_probabilities(self, mu, delta):
+        assert 0 <= chernoff_below(mu, delta) <= 1
+        assert 0 <= chernoff_above(mu, delta) <= 1

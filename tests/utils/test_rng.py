@@ -1,0 +1,49 @@
+"""Unit tests for repro.utils.rng."""
+
+import random
+
+from repro.utils.rng import ensure_rng, node_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_generator_passes_through(self):
+        rng = random.Random(3)
+        assert ensure_rng(rng) is rng
+
+
+class TestNodeRng:
+    def test_pure_function_of_seed_and_id(self):
+        assert node_rng(5, 3).random() == node_rng(5, 3).random()
+
+    def test_different_nodes_independent_streams(self):
+        assert node_rng(5, 3).random() != node_rng(5, 4).random()
+
+    def test_salt_separates_streams(self):
+        assert node_rng(5, 3, "a").random() != node_rng(5, 3, "b").random()
+
+    def test_other_nodes_consumption_is_irrelevant(self):
+        a = node_rng(5, 3)
+        b = node_rng(5, 4)
+        b.random()  # consuming b's bits must not perturb a
+        assert a.random() == node_rng(5, 3).random()
+
+
+class TestSpawn:
+    def test_deterministic_given_parent_state(self):
+        a = spawn(random.Random(1), "x").random()
+        b = spawn(random.Random(1), "x").random()
+        assert a == b
+
+    def test_labels_separate(self):
+        parent = random.Random(1)
+        parent2 = random.Random(1)
+        assert spawn(parent, "x").random() != spawn(parent2, "y").random()

@@ -1,0 +1,55 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_nonnegative,
+    require_positive,
+    require_probability,
+)
+
+
+def test_require_passes():
+    require(True, "never raised")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValueError, match="boom"):
+        require(False, "boom")
+
+
+def test_require_positive_accepts_positive():
+    require_positive(0.1, "x")
+
+
+@pytest.mark.parametrize("bad", [0, -1, -0.5])
+def test_require_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x"):
+        require_positive(bad, "x")
+
+
+def test_require_nonnegative_accepts_zero():
+    require_nonnegative(0, "x")
+
+
+def test_require_nonnegative_rejects_negative():
+    with pytest.raises(ValueError):
+        require_nonnegative(-1e-9, "x")
+
+
+def test_require_in_range_bounds_inclusive():
+    require_in_range(0, 0, 1, "x")
+    require_in_range(1, 0, 1, "x")
+
+
+def test_require_in_range_rejects_outside():
+    with pytest.raises(ValueError):
+        require_in_range(1.01, 0, 1, "x")
+
+
+def test_require_probability():
+    require_probability(0.5, "p")
+    with pytest.raises(ValueError):
+        require_probability(2, "p")
