@@ -1,26 +1,168 @@
 #!/usr/bin/env python3
-"""Standalone experiment runner: regenerate every E1–E16 table.
+"""Multi-seed experiment sweeps with machine-readable results.
 
-Runs the full benchmark suite (pytest-benchmark) with table emission
-enabled and collects the experiment tables into a single report, so
+Default mode fans the scenario sweep out over a process pool via
+:mod:`repro.exp` and writes
 
-    python benchmarks/run_experiments.py [report.md]
+* ``BENCH_<date>.json`` — schema-versioned per-experiment timings, metrics
+  and per-trial rows, the artifact CI uploads so the perf trajectory is
+  comparable across PRs;
+* a human-readable summary table on stdout (and optionally a markdown
+  report via ``--report``).
 
-reproduces the measured side of EXPERIMENTS.md in one command.  The same
-tables are produced by ``pytest benchmarks/ --benchmark-only -s``; this
-wrapper only adds collection into a file.
+Usage::
+
+    python benchmarks/run_experiments.py                  # full sweep
+    python benchmarks/run_experiments.py --quick          # CI smoke sizes
+    python benchmarks/run_experiments.py --seeds 8 --workers 4
+    python benchmarks/run_experiments.py --out BENCH_ci.json
+    python benchmarks/run_experiments.py --legacy-tables  # old E1-E16 scrape
+
+``--legacy-tables`` reproduces the historical behaviour: run the full
+pytest-benchmark suite and collect the ``== Ei ==`` tables into one
+markdown file (EXPERIMENTS.md's measured side).
 """
 
 from __future__ import annotations
 
+import argparse
+import datetime
 import re
 import subprocess
 import sys
 from pathlib import Path
 
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-def main() -> int:
-    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("experiment_tables.md")
+from repro.exp import ExperimentSpec, run_sweep  # noqa: E402
+from repro.exp.workloads import (  # noqa: E402
+    engine_throughput_workload,
+    luby_mis_workload,
+    sinkless_workload,
+    splitting_workload,
+)
+
+
+def build_specs(quick: bool, num_seeds: int):
+    """The sweep suite: every workload across the scenario topologies."""
+    seeds = tuple(range(num_seeds))
+    scale = 1 if quick else 4
+    mis_n = 2_000 * scale
+    specs = [
+        ExperimentSpec(
+            f"mis/{topology}",
+            luby_mis_workload,
+            {"topology": topology, "n": mis_n, "degree": 12},
+            seeds=seeds,
+        )
+        for topology in ("sparse", "regular", "torus", "powerlaw")
+    ]
+    specs += [
+        ExperimentSpec(
+            f"sinkless/{topology}",
+            sinkless_workload,
+            {"topology": topology, "n": 1_000 * scale, "degree": 4},
+            seeds=seeds,
+        )
+        for topology in ("regular", "torus")
+    ]
+    specs += [
+        ExperimentSpec(
+            f"splitting/{method}",
+            splitting_workload,
+            {"topology": "sparse", "n": 500 * scale, "degree": 48, "method": method},
+            seeds=seeds,
+        )
+        for method in ("local", "random")
+    ]
+    specs.append(
+        ExperimentSpec(
+            "engine/throughput",
+            engine_throughput_workload,
+            {"topology": "sparse", "n": 10_000 if quick else 20_000, "degree": 20},
+            seeds=seeds[: max(2, num_seeds // 2)],
+        )
+    )
+    return specs
+
+
+def _print_summary(sweep) -> None:
+    summary = sweep.summary()
+    if not summary:
+        print("\nno trials ran")
+        return
+    name_width = max(len(n) for n in summary) + 2
+    print(f"\n{'experiment':<{name_width}} {'ok':>3} {'fail':>4}  key metrics (mean over seeds)")
+    for name in sorted(summary):
+        entry = summary[name]
+        metrics = entry["metrics"]
+        parts = []
+        for key in ("rounds", "speedup", "mis_size", "violations", "solve_seconds"):
+            if key in metrics:
+                value = metrics[key]["mean"]
+                parts.append(f"{key}={value:.3g}")
+        if "elapsed" in metrics and metrics["elapsed"]:
+            parts.append(f"elapsed={metrics['elapsed']['mean']:.3f}s")
+        print(f"{name:<{name_width}} {entry['ok']:>3} {entry['failed']:>4}  {' '.join(parts)}")
+    print(f"\ntotal wall time {sweep.elapsed:.1f}s on {sweep.workers or 'inline'} workers")
+
+
+def _write_report(sweep, path: Path) -> None:
+    summary = sweep.summary()
+    lines = [
+        "# Experiment sweep report",
+        "",
+        "Produced by `python benchmarks/run_experiments.py`.",
+        "",
+        "| experiment | seeds ok | failed | mean metrics |",
+        "|---|---|---|---|",
+    ]
+    for name in sorted(summary):
+        entry = summary[name]
+        cells = ", ".join(
+            f"{key}={stats['mean']:.4g}"
+            for key, stats in sorted(entry["metrics"].items())
+            if stats and key != "elapsed"
+        )
+        lines.append(f"| {name} | {entry['ok']} | {entry['failed']} | {cells} |")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def run_sweeps(args) -> int:
+    specs = build_specs(args.quick, args.seeds)
+    out = Path(
+        args.out
+        if args.out
+        else f"BENCH_{datetime.date.today().isoformat()}.json"
+    )
+
+    def progress(trial):
+        status = "ok" if trial.ok else f"FAILED ({trial.error})"
+        print(f"  [{trial.experiment} seed={trial.seed}] {status} {trial.elapsed:.2f}s")
+
+    print(f"running {sum(len(s.seeds) for s in specs)} trials "
+          f"({len(specs)} experiments x seeds)...")
+    sweep = run_sweep(specs, workers=args.workers, json_path=str(out), progress=progress)
+    _print_summary(sweep)
+    print(f"wrote {out}")
+    if args.report:
+        _write_report(sweep, Path(args.report))
+        print(f"wrote {args.report}")
+    failed = sum(1 for t in sweep.trials if not t.ok)
+    if failed:
+        print(f"{failed} trial(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Legacy mode: regenerate the E1-E16 tables by scraping pytest-benchmark.
+# ---------------------------------------------------------------------------
+
+
+def run_legacy_tables(out_path: Path) -> int:
     bench_dir = Path(__file__).resolve().parent
     proc = subprocess.run(
         [
@@ -46,7 +188,7 @@ def main() -> int:
 
     with out_path.open("w") as fh:
         fh.write("# Experiment tables (regenerated)\n")
-        fh.write("\nProduced by `python benchmarks/run_experiments.py`.\n")
+        fh.write("\nProduced by `python benchmarks/run_experiments.py --legacy-tables`.\n")
         for title, body in sorted(tables, key=lambda t: _sort_key(t[0])):
             fh.write(f"\n## {title}\n\n```\n{body}\n```\n")
     print(f"\nwrote {len(tables)} experiment tables to {out_path}")
@@ -76,6 +218,31 @@ def _extract_tables(stdout: str):
 def _sort_key(title: str):
     m = re.match(r"^E(\d+)", title)
     return (int(m.group(1)) if m else 99, title)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    def positive_int(value: str) -> int:
+        number = int(value)
+        if number < 1:
+            raise argparse.ArgumentTypeError("must be >= 1")
+        return number
+
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--seeds", type=positive_int, default=5,
+                        help="seeds per experiment (>= 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (0 = inline, default = cpu count)")
+    parser.add_argument("--out", default=None, help="JSON output path "
+                        "(default BENCH_<date>.json)")
+    parser.add_argument("--report", default=None, help="also write a markdown summary")
+    parser.add_argument("--legacy-tables", nargs="?", const="experiment_tables.md",
+                        default=None, metavar="OUT_MD",
+                        help="regenerate the E1-E16 pytest tables instead")
+    args = parser.parse_args()
+    if args.legacy_tables is not None:
+        return run_legacy_tables(Path(args.legacy_tables))
+    return run_sweeps(args)
 
 
 if __name__ == "__main__":

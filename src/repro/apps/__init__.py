@@ -2,6 +2,7 @@
 
 from repro.apps.splitting import (
     BalancedSplitEstimator,
+    ZeroRoundSplitting,
     attach_clique_gadgets,
     min_constrained_degree,
     uniform_splitting,
@@ -17,6 +18,7 @@ from repro.apps.mis_via_splitting import MISResult, mis_via_splitting
 __all__ = [
     "BalancedSplitEstimator",
     "uniform_splitting",
+    "ZeroRoundSplitting",
     "min_constrained_degree",
     "attach_clique_gadgets",
     "SplitColoringResult",

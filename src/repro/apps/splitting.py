@@ -7,7 +7,11 @@ neighbors on each side.  The paper reduces coloring (Lemma 4.1) and MIS
 way every splitting in this reproduction is realized:
 
 * a randomized 0-round process (uniform coin per node), valid w.h.p. when
-  every constrained degree is Ω(log n / ε²);
+  every constrained degree is Ω(log n / ε²) — both as a centralized coin
+  flip (``method="random"``) and as a genuine message-passing LOCAL
+  algorithm (:class:`ZeroRoundSplitting`, ``method="local"``) whose single
+  communication round is a broadcast and therefore runs on the batched
+  engine's CSR fast path;
 * its derandomization by conditional expectations with a two-sided
   Chernoff/MGF pessimistic estimator (:class:`BalancedSplitEstimator`),
   giving a deterministic SLOCAL(2) algorithm run in LOCAL via a ``B²``
@@ -22,7 +26,7 @@ the Remark proves interchangeable.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bipartite.instance import BLUE, RED, BipartiteInstance, Coloring
 from repro.core.basic import processing_order
@@ -31,12 +35,15 @@ from repro.core.verifiers import uniform_splitting_violations
 from repro.derand.conditional import DerandomizationError, greedy_minimize
 from repro.derand.estimators import ColoringEstimator
 from repro.local.complexity import slocal_conversion_rounds
+from repro.local.engine import CSREngine
 from repro.local.ledger import RoundLedger
+from repro.local.network import LocalAlgorithm, Network, NodeView
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import require
 
 __all__ = [
     "BalancedSplitEstimator",
+    "ZeroRoundSplitting",
     "uniform_splitting",
     "min_constrained_degree",
     "attach_clique_gadgets",
@@ -135,6 +142,45 @@ class BalancedSplitEstimator(ColoringEstimator):
         )
 
 
+class ZeroRoundSplitting(LocalAlgorithm):
+    """Section 4.1's 0-round splitting as a message-passing LOCAL algorithm.
+
+    Each node flips a uniform coin for its own color before round 1; round 1
+    broadcasts the color on every port (declared via
+    :meth:`LocalAlgorithm.broadcast`, so the batched engine delivers it on
+    the CSR fast path); on receive every constrained node checks its red
+    neighbor count against the spec and reports validity.  Output per node
+    is ``(color, ok)``; one communication round total — the 0-round process
+    plus the standard 1-round verification.
+    """
+
+    def __init__(self, spec: UniformSplittingSpec) -> None:
+        self.spec = spec
+
+    def init(self, view: NodeView) -> None:
+        view.state["color"] = RED if view.rng.random() < 0.5 else BLUE
+
+    def broadcast(self, view: NodeView, round_no: int) -> int:
+        return view.state["color"]
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, int]:
+        color = view.state["color"]
+        return {p: color for p in range(view.degree)}
+
+    def receive(self, view: NodeView, round_no: int, inbox: Dict[int, int]) -> None:
+        d = view.degree
+        if self.spec.constrains(d):
+            red = 0
+            for c in inbox.values():
+                if c == RED:
+                    red += 1
+            ok = self.spec.lo(d) <= red <= self.spec.hi(d)
+        else:
+            ok = True
+        view.output = (view.state["color"], ok)
+        view.halted = True
+
+
 def _constraint_instance(
     adjacency: Sequence[Sequence[int]], spec: UniformSplittingSpec
 ) -> BipartiteInstance:
@@ -158,9 +204,30 @@ def uniform_splitting(
     ``method="derandomized"`` (default) certifies the result whenever every
     constrained degree is at least :func:`min_constrained_degree` (raises
     :class:`DerandomizationError` otherwise); ``method="random"`` runs the
-    0-round process Las-Vegas (verify and retry).
+    0-round process Las-Vegas (verify and retry); ``method="local"`` runs
+    the same Las-Vegas process as a genuine message-passing algorithm
+    (:class:`ZeroRoundSplitting`) on the batched engine, with the validity
+    check distributed to the nodes themselves.
     """
     n = len(adjacency)
+
+    if method == "local":
+        rng = ensure_rng(seed)
+        engine = CSREngine(Network(adjacency))
+        algorithm = ZeroRoundSplitting(spec)
+        for _ in range(max_attempts):
+            run_seed = rng.randrange(2**31)
+            result = engine.run(algorithm, max_rounds=1, seed=run_seed)
+            if ledger is not None:
+                ledger.charge_simulated(result.rounds, "0-round-splitting+check")
+            outputs = result.outputs()
+            if all(ok for _, ok in outputs):
+                return [color for color, _ in outputs]
+        raise RuntimeError(
+            f"local uniform splitting failed {max_attempts} times; "
+            "constrained degrees are below the w.h.p. regime"
+        )
+
     inst = _constraint_instance(adjacency, spec)
 
     if method == "random":

@@ -2,11 +2,15 @@
 
 from repro.bipartite.instance import BLUE, RED, BipartiteInstance, Coloring, InstanceStats
 from repro.bipartite.generators import (
+    configuration_model_regular,
+    grid_graph,
+    powerlaw_bipartite,
     random_left_regular,
     random_near_regular,
     random_regular_graph,
     random_simple_graph,
     random_skewed,
+    random_sparse_graph,
     regular_bipartite,
 )
 from repro.bipartite.transforms import (
@@ -35,8 +39,12 @@ __all__ = [
     "random_left_regular",
     "random_near_regular",
     "random_skewed",
+    "powerlaw_bipartite",
     "random_simple_graph",
+    "random_sparse_graph",
     "random_regular_graph",
+    "configuration_model_regular",
+    "grid_graph",
     "double_cover",
     "coloring_to_vertex_partition",
     "split_high_degree_left",

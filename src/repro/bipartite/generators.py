@@ -35,8 +35,12 @@ __all__ = [
     "random_left_regular",
     "random_near_regular",
     "random_skewed",
+    "powerlaw_bipartite",
     "random_simple_graph",
+    "random_sparse_graph",
     "random_regular_graph",
+    "configuration_model_regular",
+    "grid_graph",
 ]
 
 
@@ -119,6 +123,50 @@ def random_skewed(
     return BipartiteInstance(n_left, n_right, edges)
 
 
+def powerlaw_bipartite(
+    n_left: int,
+    n_right: int,
+    dmin: int,
+    dmax: int,
+    exponent: float = 2.5,
+    seed: SeedLike = None,
+) -> BipartiteInstance:
+    """Power-law degrees on *both* sides of the instance.
+
+    Left degrees follow a truncated power law (weight ``d**-exponent`` on
+    ``[dmin, dmax]``) as in :func:`random_skewed`; right endpoints are drawn
+    by preferential attachment (weight ``1 + current degree``), so the right
+    side develops a heavy-tailed degree profile as well — high-rank hubs
+    among many low-rank nodes.  This is the stress case for the paper's
+    rank-sensitive machinery (trimming, virtual-node splitting) and for the
+    sweep runner's scenario coverage: δ, ∆ *and* r all vary within a single
+    instance.
+    """
+    require(0 < dmin <= dmax <= n_right, "need 0 < dmin <= dmax <= n_right")
+    rng = ensure_rng(seed)
+    degrees = list(range(dmin, dmax + 1))
+    degree_weights = [d ** (-exponent) for d in degrees]
+    right_weight = [1.0] * n_right
+    right_nodes = list(range(n_right))
+    edges: List[Tuple[int, int]] = []
+    for u in range(n_left):
+        d = rng.choices(degrees, weights=degree_weights, k=1)[0]
+        chosen: Set[int] = set()
+        # Weighted sampling without replacement; over-draw and dedupe, with
+        # a uniform fallback so termination never depends on the weights.
+        for _ in range(20):
+            if len(chosen) >= d:
+                break
+            for v in rng.choices(right_nodes, weights=right_weight, k=d - len(chosen)):
+                chosen.add(v)
+        while len(chosen) < d:
+            chosen.add(rng.randrange(n_right))
+        for v in sorted(chosen):
+            right_weight[v] += 1.0
+            edges.append((u, v))
+    return BipartiteInstance(n_left, n_right, edges)
+
+
 # --------------------------------------------------------------------------
 # General-graph samplers (inputs to the Section 1.1 / Section 4 reductions).
 # Represented as adjacency lists: ``adj[v]`` is the sorted list of neighbors.
@@ -136,6 +184,129 @@ def random_simple_graph(n: int, p: float, seed: SeedLike = None) -> List[List[in
                 adj[u].append(v)
                 adj[v].append(u)
     return adj
+
+
+def random_sparse_graph(n: int, avg_degree: float, seed: SeedLike = None) -> List[List[int]]:
+    """``G(n, m)``-style sparse graph in O(m) expected time.
+
+    :func:`random_simple_graph` flips a coin per node *pair* — O(n²) — which
+    is prohibitive at the scales the batched engine targets (n >= 10^4).
+    Here we draw ``m = round(n * avg_degree / 2)`` edges by uniform endpoint
+    sampling with rejection of loops and duplicates, giving the same sparse
+    Erdős–Rényi regime at a cost linear in the number of edges.
+    """
+    require(n >= 0, f"n must be >= 0, got {n}")
+    require(avg_degree >= 0, f"avg_degree must be >= 0, got {avg_degree}")
+    require(avg_degree < n or n == 0, "avg_degree must be < n")
+    rng = ensure_rng(seed)
+    m = int(round(n * avg_degree / 2.0))
+    require(
+        m <= n * (n - 1) // 2,
+        f"requested {m} edges but only {n * (n - 1) // 2} simple edges exist",
+    )
+    adj: List[List[int]] = [[] for _ in range(n)]
+    seen: Set[Tuple[int, int]] = set()
+    attempts = 0
+    max_attempts = 20 * m + 100
+    while len(seen) < m and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        adj[key[0]].append(key[1])
+        adj[key[1]].append(key[0])
+    require(len(seen) == m, "edge sampling failed; graph too dense for rejection")
+    for lst in adj:
+        lst.sort()
+    return adj
+
+
+def grid_graph(rows: int, cols: int, periodic: bool = False) -> List[List[int]]:
+    """2-D grid (``periodic=False``) or torus (``periodic=True``) graph.
+
+    Node ``(i, j)`` is index ``i * cols + j``.  The torus is 4-regular —
+    the canonical bounded-degree, high-girth-free benchmark topology where
+    frontier-tracking simulation shines (constant work per node).  Periodic
+    wrap requires each dimension >= 3 so the graph stays simple.
+    """
+    require(rows >= 1 and cols >= 1, "grid dimensions must be >= 1")
+    if periodic:
+        require(rows >= 3 and cols >= 3, "torus needs rows, cols >= 3 to stay simple")
+    adj: List[List[int]] = [[] for _ in range(rows * cols)]
+    for i in range(rows):
+        for j in range(cols):
+            v = i * cols + j
+            nbrs = []
+            if periodic:
+                nbrs = [
+                    ((i - 1) % rows) * cols + j,
+                    ((i + 1) % rows) * cols + j,
+                    i * cols + (j - 1) % cols,
+                    i * cols + (j + 1) % cols,
+                ]
+            else:
+                if i > 0:
+                    nbrs.append((i - 1) * cols + j)
+                if i + 1 < rows:
+                    nbrs.append((i + 1) * cols + j)
+                if j > 0:
+                    nbrs.append(i * cols + j - 1)
+                if j + 1 < cols:
+                    nbrs.append(i * cols + j + 1)
+            adj[v] = sorted(set(nbrs))
+    return adj
+
+
+def configuration_model_regular(n: int, d: int, seed: SeedLike = None) -> List[List[int]]:
+    """Random ``d``-regular simple graph via the configuration model.
+
+    Pure-python pairing model: each node gets ``d`` stubs, the stub list is
+    shuffled and paired consecutively; pairs forming a self-loop or parallel
+    edge are thrown back and re-shuffled among themselves until every stub
+    is matched (with a full restart if a re-shuffle makes no progress).
+    Unlike :func:`random_regular_graph` this needs no networkx and runs in
+    O(n·d) expected time, so it comfortably generates the n >= 10^4
+    instances the engine benchmarks and sweeps use.
+    """
+    require(n * d % 2 == 0, f"n*d must be even, got n={n}, d={d}")
+    require(0 <= d < n, f"need 0 <= d < n, got d={d}, n={n}")
+    rng = ensure_rng(seed)
+    for _ in range(100):
+        edges: Set[Tuple[int, int]] = set()
+        stubs = [v for v in range(n) for _ in range(d)]
+        while stubs:
+            rng.shuffle(stubs)
+            leftover: List[int] = []
+            progressed = False
+            for k in range(0, len(stubs), 2):
+                u, v = stubs[k], stubs[k + 1]
+                key = (u, v) if u < v else (v, u)
+                if u == v or key in edges:
+                    leftover.append(u)
+                    leftover.append(v)
+                else:
+                    edges.add(key)
+                    progressed = True
+            stubs = leftover
+            if stubs and not progressed:
+                break  # stuck (e.g. two stubs of the same node left): restart
+        if not stubs:
+            adj: List[List[int]] = [[] for _ in range(n)]
+            for u, v in edges:
+                adj[u].append(v)
+                adj[v].append(u)
+            for lst in adj:
+                lst.sort()
+            return adj
+    raise RuntimeError(
+        f"configuration model failed to produce a simple {d}-regular graph "
+        f"on {n} nodes after 100 attempts; lower d or use random_regular_graph"
+    )
 
 
 def random_regular_graph(n: int, d: int, seed: SeedLike = None) -> List[List[int]]:

@@ -1,0 +1,242 @@
+"""Seed fan-out, process-pool execution, aggregation, JSON results.
+
+An :class:`ExperimentSpec` is one named cell of a sweep: a workload
+function plus fixed parameters, to be run once per seed.  Workload
+functions must be *picklable* (module-level, importable — see
+:mod:`repro.exp.workloads`) and have the signature::
+
+    fn(seed: int, **params) -> Dict[str, number]
+
+returning a flat dict of metrics.  :func:`run_sweep` fans all (spec, seed)
+trials out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(``workers=0`` runs inline, which is what the tests and small sweeps use),
+times each trial, and returns a :class:`SweepResult` that aggregates
+per-seed metrics into mean/std/min/max and serializes to JSON.
+
+Failures are data, not crashes: a trial that raises is recorded with its
+error string and excluded from aggregation, so one bad cell cannot sink a
+long sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.validation import require
+
+__all__ = ["ExperimentSpec", "TrialResult", "SweepResult", "run_sweep", "aggregate"]
+
+#: Workload signature: fn(seed, **params) -> metrics dict.
+Workload = Callable[..., Dict[str, Any]]
+
+#: JSON schema version of the sweep result format.
+RESULTS_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One sweep cell: a workload, its parameters, and the seeds to run."""
+
+    name: str
+    fn: Workload
+    params: Dict[str, Any] = field(default_factory=dict)
+    seeds: Sequence[int] = (0, 1, 2)
+
+    def trials(self) -> List[Tuple[str, Workload, Dict[str, Any], int]]:
+        """The (name, fn, params, seed) tuples this spec fans out to."""
+        return [(self.name, self.fn, dict(self.params), int(s)) for s in self.seeds]
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one (experiment, seed) execution."""
+
+    experiment: str
+    seed: int
+    params: Dict[str, Any]
+    metrics: Dict[str, Any]
+    elapsed: float  #: wall-clock seconds for the workload call
+    error: Optional[str] = None  #: exception repr if the trial failed
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "params": self.params,
+            "metrics": self.metrics,
+            "elapsed": self.elapsed,
+            "error": self.error,
+        }
+
+
+def _run_trial(
+    name: str, fn: Workload, params: Dict[str, Any], seed: int
+) -> TrialResult:
+    """Execute one trial; module-level so it pickles into pool workers."""
+    start = time.perf_counter()
+    try:
+        metrics = fn(seed=seed, **params)
+    except Exception as exc:  # noqa: BLE001 - failures are sweep data
+        return TrialResult(
+            experiment=name,
+            seed=seed,
+            params=params,
+            metrics={},
+            elapsed=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    if not isinstance(metrics, dict):
+        metrics = {"result": metrics}
+    if "elapsed" in metrics:
+        # "elapsed" is reserved for the runner's wall-clock measurement;
+        # keep the workload's own value under an explicit name instead of
+        # letting aggregation silently clobber one with the other.
+        metrics["workload_elapsed"] = metrics.pop("elapsed")
+    return TrialResult(
+        experiment=name,
+        seed=seed,
+        params=params,
+        metrics=metrics,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def aggregate(trials: Sequence[TrialResult]) -> Dict[str, Dict[str, Any]]:
+    """Reduce trials to per-experiment summaries.
+
+    For every numeric metric (plus ``elapsed``) reports mean/std/min/max
+    over the successful seeds; also reports seed counts and any errors.
+    The ``elapsed`` key always holds the runner's wall-clock trial timing —
+    a workload metric of that name is stored as ``workload_elapsed`` (see
+    :func:`_run_trial`).
+    """
+    by_experiment: Dict[str, List[TrialResult]] = {}
+    for t in trials:
+        by_experiment.setdefault(t.experiment, []).append(t)
+    summary: Dict[str, Dict[str, Any]] = {}
+    for name, group in by_experiment.items():
+        good = [t for t in group if t.ok]
+        metrics: Dict[str, Dict[str, float]] = {}
+        keys: List[str] = []
+        for t in good:
+            for k in t.metrics:
+                if k not in keys:
+                    keys.append(k)
+        for k in keys:
+            values = [
+                t.metrics[k]
+                for t in good
+                if isinstance(t.metrics.get(k), (int, float))
+                and not isinstance(t.metrics.get(k), bool)
+            ]
+            if values:
+                metrics[k] = _stats(values)
+        metrics["elapsed"] = _stats([t.elapsed for t in good]) if good else {}
+        summary[name] = {
+            "params": group[0].params,
+            "seeds": [t.seed for t in group],
+            "ok": len(good),
+            "failed": len(group) - len(good),
+            "errors": [t.error for t in group if not t.ok],
+            "metrics": metrics,
+        }
+    return summary
+
+
+def _stats(values: Sequence[float]) -> Dict[str, float]:
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "mean": mean,
+        "std": math.sqrt(var),
+        "min": min(values),
+        "max": max(values),
+        "n": n,
+    }
+
+
+@dataclass
+class SweepResult:
+    """All trials of a sweep plus derived aggregates and JSON export."""
+
+    trials: List[TrialResult]
+    workers: int
+    elapsed: float  #: wall-clock seconds for the whole sweep
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        return aggregate(self.trials)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": RESULTS_SCHEMA,
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+            "workers": self.workers,
+            "elapsed": self.elapsed,
+            "experiments": self.summary(),
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def run_sweep(
+    specs: Sequence[ExperimentSpec],
+    workers: Optional[int] = None,
+    json_path: Optional[str] = None,
+    progress: Optional[Callable[[TrialResult], None]] = None,
+) -> SweepResult:
+    """Fan every (spec, seed) trial out and collect results.
+
+    ``workers=None`` uses ``os.cpu_count()`` pool processes; ``workers=0``
+    (or a single trial) runs inline in this process — deterministic
+    ordering, no pickling requirements, the right mode for tests.
+    ``progress`` is invoked once per finished trial (completion order).
+    Trial results are always returned sorted by (experiment, seed) so the
+    output is reproducible regardless of scheduling.
+    """
+    require(all(isinstance(s, ExperimentSpec) for s in specs), "specs must be ExperimentSpec")
+    tasks = [t for spec in specs for t in spec.trials()]
+    if workers is None:
+        workers = os.cpu_count() or 1
+    start = time.perf_counter()
+    results: List[TrialResult] = []
+    if workers <= 0 or len(tasks) <= 1:
+        workers = 0
+        for task in tasks:
+            result = _run_trial(*task)
+            results.append(result)
+            if progress is not None:
+                progress(result)
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_run_trial, *task) for task in tasks}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    result = future.result()
+                    results.append(result)
+                    if progress is not None:
+                        progress(result)
+    results.sort(key=lambda t: (t.experiment, t.seed))
+    sweep = SweepResult(
+        trials=results, workers=workers, elapsed=time.perf_counter() - start
+    )
+    if json_path is not None:
+        sweep.write_json(json_path)
+    return sweep

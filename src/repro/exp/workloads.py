@@ -1,0 +1,171 @@
+"""Picklable workload functions for the sweep runner.
+
+Every function here is a module-level callable with signature
+``fn(seed, **params) -> Dict[str, number]`` so it can cross a process-pool
+boundary.  Each builds a scenario graph (see :func:`build_topology`), runs
+one algorithm, and returns flat numeric metrics; validity is asserted
+inside the workload so a sweep cannot silently record garbage.
+
+These are the workloads ``benchmarks/run_experiments.py`` fans out; tests
+run them inline through the same entry points.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List
+
+from repro.apps.splitting import uniform_splitting
+from repro.bipartite.generators import (
+    configuration_model_regular,
+    grid_graph,
+    powerlaw_bipartite,
+    random_sparse_graph,
+)
+from repro.bipartite.instance import BipartiteInstance
+from repro.core.problems import UniformSplittingSpec
+from repro.core.verifiers import uniform_splitting_violations
+from repro.local.engine import CSREngine
+from repro.local.network import Network, run_local
+from repro.mis.luby import LubyMIS, is_mis, luby_mis
+from repro.orientation.sinkless import is_sinkless, run_trial_and_fix
+from repro.utils.validation import require
+
+__all__ = [
+    "build_topology",
+    "luby_mis_workload",
+    "sinkless_workload",
+    "splitting_workload",
+    "engine_throughput_workload",
+]
+
+TOPOLOGIES = ("sparse", "regular", "torus", "grid", "powerlaw")
+
+
+def build_topology(
+    topology: str, n: int, degree: int, seed: int
+) -> List[List[int]]:
+    """Scenario graph by name; all run in O(m).
+
+    ``sparse``  — Erdős–Rényi G(n, m) with average degree ``degree``;
+    ``regular`` — configuration-model ``degree``-regular simple graph;
+    ``torus``   — periodic 2-D grid on ~n nodes (4-regular; ``degree`` ignored);
+    ``grid``    — open 2-D grid on ~n nodes (``degree`` ignored);
+    ``powerlaw``— communication graph of a power-law bipartite instance
+    with left degrees in ``[2, degree]``.
+    """
+    require(topology in TOPOLOGIES, f"unknown topology {topology!r}")
+    if topology == "sparse":
+        return random_sparse_graph(n, float(degree), seed=seed)
+    if topology == "regular":
+        if n * degree % 2:
+            n += 1
+        return configuration_model_regular(n, degree, seed=seed)
+    if topology in ("torus", "grid"):
+        side = max(3, int(round(n ** 0.5)))
+        return grid_graph(side, side, periodic=(topology == "torus"))
+    inst = powerlaw_bipartite(
+        n_left=n // 2, n_right=n - n // 2, dmin=2, dmax=max(2, degree), seed=seed
+    )
+    return _bipartite_adjacency(inst)
+
+
+def _bipartite_adjacency(inst: BipartiteInstance) -> List[List[int]]:
+    """The communication graph of a bipartite instance (both sides)."""
+    return [list(nbrs) for nbrs in Network.from_bipartite(inst).adjacency]
+
+
+def luby_mis_workload(
+    seed: int, topology: str = "sparse", n: int = 1000, degree: int = 8
+) -> Dict[str, Any]:
+    """Luby MIS on the batched engine; verifies the MIS before reporting."""
+    adj = build_topology(topology, n, degree, seed=seed * 7919 + 1)
+    start = time.perf_counter()
+    mis, rounds = luby_mis(adj, seed=seed)
+    solve = time.perf_counter() - start
+    require(is_mis(adj, mis), "luby produced an invalid MIS")
+    m = sum(len(a) for a in adj) // 2
+    return {
+        "n": len(adj),
+        "m": m,
+        "rounds": rounds,
+        "mis_size": len(mis),
+        "solve_seconds": solve,
+        "nodes_per_second": len(adj) / solve if solve > 0 else 0.0,
+    }
+
+
+def sinkless_workload(
+    seed: int, topology: str = "regular", n: int = 1000, degree: int = 4
+) -> Dict[str, Any]:
+    """Trial-and-fix sinkless orientation on the engine (probe-driven)."""
+    adj = build_topology(topology, n, degree, seed=seed * 7919 + 2)
+    start = time.perf_counter()
+    orientation, rounds = run_trial_and_fix(adj, min_degree=2, seed=seed)
+    solve = time.perf_counter() - start
+    require(is_sinkless(adj, orientation, min_degree=2), "orientation has a sink")
+    return {
+        "n": len(adj),
+        "m": len(orientation),
+        "rounds": rounds,
+        "solve_seconds": solve,
+    }
+
+
+def splitting_workload(
+    seed: int,
+    topology: str = "sparse",
+    n: int = 500,
+    degree: int = 40,
+    eps: float = 0.25,
+    method: str = "local",
+) -> Dict[str, Any]:
+    """Uniform splitting (Section 4.1) via the requested method."""
+    adj = build_topology(topology, n, degree, seed=seed * 7919 + 3)
+    spec = UniformSplittingSpec(eps=eps, min_constrained_degree=max(2, degree // 2))
+    start = time.perf_counter()
+    partition = uniform_splitting(adj, spec, method=method, seed=seed)
+    solve = time.perf_counter() - start
+    violations = uniform_splitting_violations(adj, partition, spec)
+    require(not violations, f"splitting left {len(violations)} violated nodes")
+    return {
+        "n": len(adj),
+        "constrained": sum(1 for a in adj if spec.constrains(len(a))),
+        "violations": len(violations),
+        "solve_seconds": solve,
+    }
+
+
+def engine_throughput_workload(
+    seed: int, topology: str = "sparse", n: int = 10_000, degree: int = 20
+) -> Dict[str, Any]:
+    """Reference vs batched engine on Luby MIS over one fixed graph.
+
+    This is the perf-trajectory metric CI tracks across PRs: both runners
+    execute the identical simulation (outputs are asserted equal) and the
+    speedup is their wall-clock ratio.
+    """
+    adj = build_topology(topology, n, degree, seed=seed * 7919 + 4)
+    net = Network(adj)
+    engine = CSREngine(net)
+
+    start = time.perf_counter()
+    reference = run_local(net, LubyMIS(), seed=seed)
+    t_reference = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = engine.run(LubyMIS(), seed=seed)
+    t_engine = time.perf_counter() - start
+
+    require(
+        reference.outputs() == fast.outputs() and reference.rounds == fast.rounds,
+        "engine diverged from reference",
+    )
+    return {
+        "n": len(adj),
+        "m": sum(len(a) for a in adj) // 2,
+        "rounds": fast.rounds,
+        "reference_seconds": t_reference,
+        "engine_seconds": t_engine,
+        "speedup": t_reference / t_engine if t_engine > 0 else 0.0,
+    }

@@ -1,4 +1,4 @@
-"""LOCAL model: synchronous simulator, round ledger, complexity formulas."""
+"""LOCAL model: synchronous simulator, batched engine, ledger, complexity."""
 
 from repro.local.complexity import (
     degree_splitting_rounds,
@@ -7,13 +7,16 @@ from repro.local.complexity import (
     power_graph_coloring_rounds,
     slocal_conversion_rounds,
 )
+from repro.local.engine import CSREngine, run_local_fast
 from repro.local.ids import sequential_ids, shuffled_ids, sparse_random_ids
 from repro.local.ledger import Charge, RoundLedger
 from repro.local.network import (
+    NO_BROADCAST,
     LocalAlgorithm,
     Network,
     NodeView,
     SimulationResult,
+    build_reverse_ports,
     run_local,
 )
 
@@ -23,6 +26,10 @@ __all__ = [
     "NodeView",
     "SimulationResult",
     "run_local",
+    "run_local_fast",
+    "CSREngine",
+    "NO_BROADCAST",
+    "build_reverse_ports",
     "Charge",
     "RoundLedger",
     "log_star",

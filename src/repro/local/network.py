@@ -32,7 +32,28 @@ import random
 from repro.utils.rng import node_rng
 from repro.utils.validation import require
 
-__all__ = ["Network", "NodeView", "LocalAlgorithm", "run_local", "SimulationResult"]
+__all__ = [
+    "Network",
+    "NodeView",
+    "LocalAlgorithm",
+    "run_local",
+    "SimulationResult",
+    "NO_BROADCAST",
+    "build_reverse_ports",
+]
+
+
+class _NoBroadcast:
+    """Sentinel: the algorithm has no broadcast message this round."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_BROADCAST"
+
+
+#: Returned by :meth:`LocalAlgorithm.broadcast` to fall back to :meth:`send`.
+NO_BROADCAST = _NoBroadcast()
 
 
 class Network:
@@ -133,6 +154,23 @@ class LocalAlgorithm(ABC):
     def receive(self, view: NodeView, round_no: int, inbox: Dict[int, Any]) -> None:
         """Process the messages received in round ``round_no``."""
 
+    def broadcast(self, view: NodeView, round_no: int) -> Any:
+        """Message to emit on *every* port this round, or :data:`NO_BROADCAST`.
+
+        Many LOCAL algorithms are *broadcast algorithms*: each round a node
+        sends one message, identical on all its ports.  Declaring the round
+        here (instead of materializing ``{port: msg}`` dicts in ``send``)
+        lets the batched engine deliver the message in a tight loop over the
+        node's CSR slice.  The default falls back to :meth:`send`.
+
+        Both :func:`run_local` and the engine consult this hook exactly once
+        per active node per round, *before* ``send``; when it returns a
+        message, ``send`` is not called.  Overrides must therefore perform
+        any per-round state updates (coin flips, counters) in whichever hook
+        actually runs.
+        """
+        return NO_BROADCAST
+
 
 @dataclass
 class SimulationResult:
@@ -147,6 +185,30 @@ class SimulationResult:
         return [v.output for v in self.views]
 
 
+def build_reverse_ports(adjacency: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Port tables: ``reverse_port[i][p]`` is the counterpart's port.
+
+    If node ``i`` lists ``j`` at port ``p`` then ``j`` lists ``i`` at port
+    ``reverse_port[i][p]``.  Multi-edges are matched in order of appearance:
+    the k-th occurrence of ``j`` in ``adjacency[i]`` pairs with the k-th
+    occurrence of ``i`` in ``adjacency[j]``.  Shared by :func:`run_local`
+    and the batched engine so both deliver along identical port pairings.
+    """
+    n = len(adjacency)
+    reverse_port: List[List[int]] = [[-1] * len(adjacency[i]) for i in range(n)]
+    cursor: Dict[Tuple[int, int], List[int]] = {}
+    for i in range(n):
+        for p, j in enumerate(adjacency[i]):
+            cursor.setdefault((j, i), []).append(p)
+    taken: Dict[Tuple[int, int], int] = {}
+    for i in range(n):
+        for p, j in enumerate(adjacency[i]):
+            k = taken.get((i, j), 0)
+            taken[(i, j)] = k + 1
+            reverse_port[i][p] = cursor[(i, j)][k]
+    return reverse_port
+
+
 def run_local(
     network: Network,
     algorithm: LocalAlgorithm,
@@ -159,22 +221,14 @@ def run_local(
     and ``b`` lists ``a`` at port ``q``, a message sent by ``a`` on port ``p``
     in round ``t`` arrives in ``b``'s inbox under port ``q`` in the same
     round's receive phase (standard synchronous semantics).
+
+    This is the *reference* implementation: simple, dict-based, audited
+    against the model definition.  :func:`repro.local.engine.run_local_fast`
+    is the batched drop-in replacement, bit-identical for a fixed seed.
     """
     require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
     n = network.n
-    # Port tables: reverse_port[i][p] = the port of the counterpart at the
-    # other endpoint.  Multi-edges are matched in order of appearance.
-    reverse_port: List[List[int]] = [[-1] * len(network.adjacency[i]) for i in range(n)]
-    cursor: Dict[Tuple[int, int], List[int]] = {}
-    for i in range(n):
-        for p, j in enumerate(network.adjacency[i]):
-            cursor.setdefault((j, i), []).append(p)
-    taken: Dict[Tuple[int, int], int] = {}
-    for i in range(n):
-        for p, j in enumerate(network.adjacency[i]):
-            k = taken.get((i, j), 0)
-            taken[(i, j)] = k + 1
-            reverse_port[i][p] = cursor[(i, j)][k]
+    reverse_port = build_reverse_ports(network.adjacency)
 
     views = [
         NodeView(
@@ -197,7 +251,11 @@ def run_local(
         for i in range(n):
             if views[i].halted:
                 continue
-            outgoing = algorithm.send(views[i], round_no)
+            bmsg = algorithm.broadcast(views[i], round_no)
+            if bmsg is not NO_BROADCAST:
+                outgoing = {p: bmsg for p in range(network.degree(i))}
+            else:
+                outgoing = algorithm.send(views[i], round_no)
             for port, message in outgoing.items():
                 require(
                     0 <= port < network.degree(i),

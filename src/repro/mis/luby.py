@@ -10,6 +10,13 @@ Luby round structure (the "random priority" variant): every active node
 draws a random priority; a node joins the MIS if its priority beats all
 active neighbors'; MIS nodes and their neighbors deactivate.  Each phase
 takes 2 communication rounds (exchange priorities, announce joins).
+
+Both rounds of a phase send one message identical on all ports, so the
+algorithm declares them via :meth:`LocalAlgorithm.broadcast` and the batched
+engine (:func:`repro.local.engine.run_local_fast`) delivers them on its CSR
+fast path.  Messages to already-decided neighbors are dropped unread (a
+halted node's inbox is never consumed), which is exactly the reference
+semantics; an active node hears precisely its still-active neighbors.
 """
 
 from __future__ import annotations
@@ -17,7 +24,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.local.ledger import RoundLedger
-from repro.local.network import LocalAlgorithm, Network, NodeView, run_local
+from repro.local.network import LocalAlgorithm, Network, NodeView
+from repro.local.engine import run_local_fast
 from repro.utils.validation import require
 
 __all__ = ["LubyMIS", "luby_mis", "is_mis"]
@@ -29,38 +37,33 @@ class LubyMIS(LocalAlgorithm):
     def init(self, view: NodeView) -> None:
         view.state["active"] = True
         view.state["in_mis"] = False
-        view.state["neighbor_active"] = {p: True for p in range(view.degree)}
         if view.degree == 0:
             view.state["in_mis"] = True
             view.output = True
             view.halted = True
 
-    def send(self, view: NodeView, round_no: int) -> Dict[int, object]:
-        if not view.state["active"]:
-            return {}
+    def broadcast(self, view: NodeView, round_no: int) -> object:
         if round_no % 2 == 1:  # priority exchange
-            view.state["priority"] = (view.rng.random(), view.uid)
-            return {
-                p: ("prio", view.state["priority"])
-                for p in range(view.degree)
-                if view.state["neighbor_active"][p]
-            }
+            priority = (view.rng.random(), view.uid)
+            view.state["priority"] = priority
+            return ("prio", priority)
         # announcement round
-        msg = (
-            ("join",)
-            if view.state.get("joining")
-            else ("stay",)
-        )
-        return {
-            p: msg for p in range(view.degree) if view.state["neighbor_active"][p]
-        }
+        return ("join",) if view.state.get("joining") else ("stay",)
+
+    def send(self, view: NodeView, round_no: int) -> Dict[int, object]:
+        # Fallback for runners that ignore the broadcast declaration.
+        msg = self.broadcast(view, round_no)
+        return {p: msg for p in range(view.degree)}
 
     def receive(self, view: NodeView, round_no: int, inbox: Dict[int, object]) -> None:
-        if not view.state["active"]:
-            return
         if round_no % 2 == 1:
-            prios = [m[1] for m in inbox.values() if m[0] == "prio"]
-            view.state["joining"] = all(view.state["priority"] > q for q in prios)
+            priority = view.state["priority"]
+            joining = True
+            for m in inbox.values():
+                if m[0] == "prio" and priority <= m[1]:
+                    joining = False
+                    break
+            view.state["joining"] = joining
             return
         if view.state.get("joining"):
             view.state["active"] = False
@@ -68,16 +71,12 @@ class LubyMIS(LocalAlgorithm):
             view.output = True
             view.halted = True
             return
-        neighbor_joined = any(m[0] == "join" for m in inbox.values())
-        if neighbor_joined:
-            view.state["active"] = False
-            view.output = False
-            view.halted = True
-            return
-        # Mark neighbors that fell silent (they decided) as inactive.
-        for p in range(view.degree):
-            if view.state["neighbor_active"][p] and p not in inbox:
-                view.state["neighbor_active"][p] = False
+        for m in inbox.values():
+            if m[0] == "join":
+                view.state["active"] = False
+                view.output = False
+                view.halted = True
+                return
 
 
 def luby_mis(
@@ -87,9 +86,13 @@ def luby_mis(
     max_rounds: int = 10_000,
     label: str = "luby-mis",
 ) -> Tuple[Set[int], int]:
-    """Run Luby's MIS; returns (MIS node set, simulated rounds)."""
+    """Run Luby's MIS; returns (MIS node set, simulated rounds).
+
+    Executes on the batched CSR engine, which is bit-identical to the
+    reference :func:`repro.local.network.run_local` for a fixed seed.
+    """
     net = Network(adjacency)
-    result = run_local(net, LubyMIS(), max_rounds=max_rounds, seed=seed)
+    result = run_local_fast(net, LubyMIS(), max_rounds=max_rounds, seed=seed)
     require(result.completed, "Luby MIS did not terminate within the round cap")
     mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
     if ledger is not None:

@@ -4,11 +4,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bipartite import (
+    configuration_model_regular,
+    grid_graph,
+    powerlaw_bipartite,
     random_left_regular,
     random_near_regular,
     random_regular_graph,
     random_simple_graph,
     random_skewed,
+    random_sparse_graph,
     regular_bipartite,
 )
 
@@ -107,3 +111,123 @@ class TestGraphSamplers:
             assert nbrs == sorted(nbrs)
             assert len(set(nbrs)) == len(nbrs)
             assert u not in nbrs
+
+
+class TestRandomSparseGraph:
+    def test_edge_count_and_simplicity(self):
+        adj = random_sparse_graph(200, 6.0, seed=1)
+        m = sum(len(a) for a in adj) // 2
+        assert m == 600
+        for u, nbrs in enumerate(adj):
+            assert nbrs == sorted(nbrs)
+            assert len(set(nbrs)) == len(nbrs)
+            assert u not in nbrs
+
+    def test_symmetric(self):
+        adj = random_sparse_graph(100, 4.0, seed=2)
+        for u, nbrs in enumerate(adj):
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_deterministic(self):
+        assert random_sparse_graph(80, 3.0, seed=5) == random_sparse_graph(80, 3.0, seed=5)
+        assert random_sparse_graph(80, 3.0, seed=5) != random_sparse_graph(80, 3.0, seed=6)
+
+    def test_zero_nodes_and_degree(self):
+        assert random_sparse_graph(0, 0.0, seed=1) == []
+        assert random_sparse_graph(10, 0.0, seed=1) == [[] for _ in range(10)]
+
+    def test_rejects_dense_request(self):
+        with pytest.raises(ValueError):
+            random_sparse_graph(10, 10.0, seed=1)
+
+
+class TestGridGraph:
+    def test_open_grid_degrees(self):
+        adj = grid_graph(3, 4)
+        assert len(adj) == 12
+        degrees = sorted(len(a) for a in adj)
+        # 4 corners of degree 2, 6 border nodes of degree 3, 2 interior of 4
+        assert degrees == [2, 2, 2, 2, 3, 3, 3, 3, 3, 3, 4, 4]
+
+    def test_torus_is_4_regular(self):
+        adj = grid_graph(5, 7, periodic=True)
+        assert len(adj) == 35
+        assert all(len(a) == 4 for a in adj)
+
+    def test_torus_symmetric_and_simple(self):
+        adj = grid_graph(4, 4, periodic=True)
+        for u, nbrs in enumerate(adj):
+            assert len(set(nbrs)) == len(nbrs)
+            assert u not in nbrs
+            for v in nbrs:
+                assert u in adj[v]
+
+    def test_torus_rejects_thin_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_graph(2, 5, periodic=True)
+
+    def test_single_node(self):
+        assert grid_graph(1, 1) == [[]]
+
+
+class TestConfigurationModel:
+    def test_regular_and_simple(self):
+        for d in (2, 3, 4, 8):
+            n = 40 if (40 * d) % 2 == 0 else 41
+            adj = configuration_model_regular(n, d, seed=d)
+            assert all(len(a) == d for a in adj)
+            for u, nbrs in enumerate(adj):
+                assert nbrs == sorted(nbrs)
+                assert len(set(nbrs)) == len(nbrs)
+                assert u not in nbrs
+
+    def test_deterministic(self):
+        a = configuration_model_regular(30, 4, seed=9)
+        b = configuration_model_regular(30, 4, seed=9)
+        c = configuration_model_regular(30, 4, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ValueError):
+            configuration_model_regular(5, 3, seed=1)
+
+    def test_rejects_degree_ge_n(self):
+        with pytest.raises(ValueError):
+            configuration_model_regular(4, 4, seed=1)
+
+    def test_large_instance(self):
+        adj = configuration_model_regular(2000, 6, seed=3)
+        assert all(len(a) == 6 for a in adj)
+
+
+class TestPowerlawBipartite:
+    def test_left_degrees_within_bounds(self):
+        inst = powerlaw_bipartite(100, 80, 2, 20, seed=1)
+        for u in range(100):
+            assert 2 <= inst.left_degree(u) <= 20
+
+    def test_simple_instance(self):
+        inst = powerlaw_bipartite(50, 40, 1, 10, seed=2)
+        assert inst.is_simple()
+
+    def test_right_side_skews(self):
+        # Preferential attachment should concentrate rank on a few hubs.
+        inst = powerlaw_bipartite(300, 100, 2, 8, seed=3)
+        degrees = sorted(
+            (inst.right_degree(v) for v in range(100)), reverse=True
+        )
+        avg = sum(degrees) / len(degrees)
+        assert degrees[0] > 2 * avg
+
+    def test_deterministic(self):
+        a = powerlaw_bipartite(40, 30, 1, 6, seed=4)
+        b = powerlaw_bipartite(40, 30, 1, 6, seed=4)
+        assert a.edges == b.edges
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            powerlaw_bipartite(10, 5, 0, 3, seed=1)
+        with pytest.raises(ValueError):
+            powerlaw_bipartite(10, 5, 4, 6, seed=1)

@@ -1,0 +1,180 @@
+"""Tests for the multi-seed sweep runner and aggregation."""
+
+import json
+import math
+
+import pytest
+
+from repro.exp import ExperimentSpec, aggregate, run_sweep
+from repro.exp.runner import TrialResult, _run_trial
+from repro.exp.workloads import (
+    build_topology,
+    engine_throughput_workload,
+    luby_mis_workload,
+    sinkless_workload,
+    splitting_workload,
+)
+
+
+def metrics_workload(seed, base=10):
+    return {"value": base + seed, "constant": 5, "label": "x"}
+
+
+def failing_workload(seed):
+    if seed == 1:
+        raise RuntimeError("boom")
+    return {"value": seed}
+
+
+class TestSpec:
+    def test_trials_fan_out(self):
+        spec = ExperimentSpec("e", metrics_workload, {"base": 2}, seeds=(3, 4))
+        trials = spec.trials()
+        assert [t[3] for t in trials] == [3, 4]
+        assert all(t[0] == "e" and t[2] == {"base": 2} for t in trials)
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(["not-a-spec"], workers=0)
+
+
+class TestInlineSweep:
+    def test_metrics_and_ordering(self):
+        specs = [
+            ExperimentSpec("b", metrics_workload, {"base": 100}, seeds=(1, 0)),
+            ExperimentSpec("a", metrics_workload, {}, seeds=(0,)),
+        ]
+        sweep = run_sweep(specs, workers=0)
+        assert [(t.experiment, t.seed) for t in sweep.trials] == [
+            ("a", 0),
+            ("b", 0),
+            ("b", 1),
+        ]
+        assert sweep.workers == 0
+        assert all(t.ok and t.elapsed >= 0 for t in sweep.trials)
+        assert sweep.trials[1].metrics["value"] == 100
+
+    def test_failure_is_recorded_not_raised(self):
+        sweep = run_sweep(
+            [ExperimentSpec("f", failing_workload, {}, seeds=(0, 1, 2))], workers=0
+        )
+        errors = [t for t in sweep.trials if not t.ok]
+        assert len(errors) == 1 and errors[0].seed == 1
+        assert "RuntimeError: boom" in errors[0].error
+        summary = sweep.summary()["f"]
+        assert summary["ok"] == 2 and summary["failed"] == 1
+        assert summary["metrics"]["value"]["n"] == 2
+
+    def test_non_dict_result_wrapped(self):
+        result = _run_trial("x", lambda seed: seed * 2, {}, 3)
+        assert result.metrics == {"result": 6}
+
+
+class TestAggregate:
+    def test_stats_values(self):
+        trials = [
+            TrialResult("e", s, {}, {"v": float(v)}, elapsed=0.0)
+            for s, v in enumerate((1, 2, 3, 4))
+        ]
+        stats = aggregate(trials)["e"]["metrics"]["v"]
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["min"] == 1 and stats["max"] == 4
+        assert stats["std"] == pytest.approx(math.sqrt(1.25))
+        assert stats["n"] == 4
+
+    def test_non_numeric_and_bool_skipped(self):
+        trials = [TrialResult("e", 0, {}, {"s": "str", "b": True, "v": 1}, 0.0)]
+        metrics = aggregate(trials)["e"]["metrics"]
+        assert "s" not in metrics and "b" not in metrics and "v" in metrics
+
+
+class TestJsonEmission:
+    def test_schema_and_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        sweep = run_sweep(
+            [ExperimentSpec("e", metrics_workload, {}, seeds=(0, 1))],
+            workers=0,
+            json_path=str(path),
+        )
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["workers"] == 0
+        assert set(data["experiments"]) == {"e"}
+        assert len(data["trials"]) == 2
+        assert data["experiments"]["e"]["metrics"]["value"]["mean"] == pytest.approx(
+            10.5
+        )
+        assert sweep.elapsed >= 0
+
+
+class TestProcessPool:
+    def test_pool_matches_inline(self):
+        specs = [
+            ExperimentSpec(
+                "mis-small",
+                luby_mis_workload,
+                {"topology": "sparse", "n": 120, "degree": 4},
+                seeds=(0, 1, 2),
+            )
+        ]
+        inline = run_sweep(specs, workers=0)
+        pooled = run_sweep(specs, workers=2)
+        assert all(t.ok for t in pooled.trials), [t.error for t in pooled.trials]
+        assert [t.metrics["rounds"] for t in inline.trials] == [
+            t.metrics["rounds"] for t in pooled.trials
+        ]
+        assert [t.metrics["mis_size"] for t in inline.trials] == [
+            t.metrics["mis_size"] for t in pooled.trials
+        ]
+
+    def test_progress_callback_sees_every_trial(self):
+        seen = []
+        run_sweep(
+            [
+                ExperimentSpec(
+                    "mis-small",
+                    luby_mis_workload,
+                    {"topology": "torus", "n": 100, "degree": 4},
+                    seeds=(0, 1),
+                )
+            ],
+            workers=2,
+            progress=seen.append,
+        )
+        assert sorted(t.seed for t in seen) == [0, 1]
+
+
+class TestWorkloads:
+    def test_build_topology_variants(self):
+        for topology in ("sparse", "regular", "torus", "grid", "powerlaw"):
+            adj = build_topology(topology, 80, 4, seed=1)
+            assert len(adj) >= 60
+            # symmetry
+            for u, nbrs in enumerate(adj):
+                for v in nbrs:
+                    assert u in adj[v]
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology("hypercube", 10, 2, seed=0)
+
+    def test_luby_workload_metrics(self):
+        metrics = luby_mis_workload(seed=0, topology="torus", n=100, degree=4)
+        assert metrics["rounds"] >= 2 and metrics["mis_size"] > 0
+        assert metrics["n"] == 100
+
+    def test_sinkless_workload_metrics(self):
+        metrics = sinkless_workload(seed=0, topology="regular", n=60, degree=4)
+        assert metrics["rounds"] >= 2
+
+    def test_splitting_workload_local_method(self):
+        metrics = splitting_workload(
+            seed=0, topology="sparse", n=200, degree=40, method="local"
+        )
+        assert metrics["violations"] == 0
+        assert metrics["constrained"] > 0
+
+    def test_engine_throughput_workload(self):
+        metrics = engine_throughput_workload(seed=0, n=400, degree=6)
+        assert metrics["speedup"] > 0
+        assert metrics["rounds"] >= 2

@@ -144,3 +144,91 @@ class TestRunLocal:
         net = Network(path_graph(2))
         result = run_local(net, Flood(), max_rounds=0)
         assert result.rounds == 0
+        # init ran (state populated) but no round was executed
+        assert all(v.state["best"] == v.uid for v in result.views)
+        assert not result.completed
+
+    def test_negative_max_rounds_rejected(self):
+        net = Network(path_graph(2))
+        with pytest.raises(ValueError):
+            run_local(net, Flood(), max_rounds=-1)
+
+
+class PortTagger(LocalAlgorithm):
+    """Sends its own port number on each port; records what arrives where."""
+
+    def init(self, view):
+        pass
+
+    def send(self, view, round_no):
+        return {p: (view.index, p) for p in range(view.degree)}
+
+    def receive(self, view, round_no, inbox):
+        view.output = dict(inbox)
+        view.halted = True
+
+
+class HaltsThenListens(LocalAlgorithm):
+    """Halts immediately in round 1 and records any later receive calls."""
+
+    def init(self, view):
+        view.state["receives"] = 0
+
+    def send(self, view, round_no):
+        return {p: "ping" for p in range(view.degree)}
+
+    def receive(self, view, round_no, inbox):
+        view.state["receives"] += 1
+        if view.uid == 0:
+            view.halted = True
+            view.output = "halted-early"
+
+
+class TestEdgeSemantics:
+    """The fine print of the delivery contract, pinned for the engine too."""
+
+    def test_multi_edge_port_matching_order(self):
+        # Node 0 lists node 1 twice; the k-th copy on each side must pair.
+        net = Network([[1, 1], [0, 0]])
+        result = run_local(net, PortTagger(), max_rounds=1)
+        # node 0's port p carries (1, p): first copy <-> first copy, etc.
+        assert result.views[0].output == {0: (1, 0), 1: (1, 1)}
+        assert result.views[1].output == {0: (0, 0), 1: (0, 1)}
+
+    def test_multi_edge_matching_is_positional_not_sorted(self):
+        # Three parallel edges plus a spur; positions must line up pairwise.
+        net = Network([[1, 1, 2], [0, 0, 2], [0, 1]])
+        result = run_local(net, PortTagger(), max_rounds=1)
+        assert result.views[0].output == {0: (1, 0), 1: (1, 1), 2: (2, 0)}
+        assert result.views[1].output == {0: (0, 0), 1: (0, 1), 2: (2, 1)}
+        assert result.views[2].output == {0: (0, 2), 1: (1, 2)}
+
+    def test_halted_node_inbox_suppressed(self):
+        # Node 0 halts in round 1; neighbors keep sending to it, but its
+        # receive hook must never fire again.
+        net = Network(path_graph(3), ids=[0, 1, 2])
+        result = run_local(net, HaltsThenListens(), max_rounds=4)
+        assert result.views[0].output == "halted-early"
+        assert result.views[0].state["receives"] == 1
+        # the still-active nodes kept receiving every round
+        assert result.views[1].state["receives"] == 4
+
+    def test_send_not_called_for_halted_nodes(self):
+        calls = []
+
+        class RecordingSender(LocalAlgorithm):
+            def init(self, view):
+                if view.uid == 0:
+                    view.halted = True
+
+            def send(self, view, round_no):
+                calls.append((view.uid, round_no))
+                return {}
+
+            def receive(self, view, round_no, inbox):
+                if round_no >= 2:
+                    view.halted = True
+
+        net = Network(path_graph(3))
+        run_local(net, RecordingSender(), max_rounds=5)
+        assert all(uid != 0 for uid, _ in calls)
