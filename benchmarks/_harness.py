@@ -15,9 +15,34 @@ paper-vs-measured record of these outputs.
 
 from __future__ import annotations
 
+import gc
+import time
 from typing import Dict, List, Sequence
 
-__all__ = ["emit_table", "attach_rows"]
+__all__ = ["emit_table", "attach_rows", "best_of"]
+
+
+def best_of(fn, repeat: int = 3) -> float:
+    """Best-of-``repeat`` wall time of ``fn()`` with the GC paused.
+
+    The standard timing discipline for this repo's perf *assertions*: on the
+    1-CPU CI/container a single noisy scheduler window can distort one
+    measurement, and a GC cycle landing mid-run distorts short ones, so
+    ratio gates compare minima over several runs with collection disabled.
+    """
+    best = float("inf")
+    for _ in range(repeat):
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+        finally:
+            if was_enabled:
+                gc.enable()
+        best = min(best, elapsed)
+    return best
 
 
 def emit_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:

@@ -1,38 +1,33 @@
-"""E17 — batched CSR engine vs reference simulator (Luby MIS throughput).
+"""E17/E18 — execution-backend ladder on Luby MIS throughput.
 
-The claim under test: :class:`repro.local.engine.CSREngine` executes the
-same simulation as :func:`repro.local.network.run_local` — bit-identical
-outputs and round counts for a fixed seed — at >= 3x the throughput on
-MIS-scale inputs (n >= 10,000).  Equivalence is asserted on every run;
-the speedup assertion uses best-of-3 wall times with GC paused to damp
-scheduler noise.
+Two claims under test, both with equivalence asserted on every run and
+wall-clock ratios taken best-of-N with the GC paused (:func:`_harness.best_of`
+— the 1-CPU container jitters too much for single-shot gates):
+
+* **E17**: :class:`repro.local.engine.CSREngine` executes the same
+  simulation as :func:`repro.local.network.run_local` — bit-identical
+  outputs and round counts for a fixed seed — at >= 3x the throughput on
+  MIS-scale inputs (n >= 10,000).
+* **E18**: the dense numpy backend
+  (:func:`repro.local.dense.luby_mis_dense`) executes whole rounds as array
+  kernels with counter-based coins at >= 10x the engine's throughput at
+  n = 100,000 on a ``random_sparse_graph`` of average degree ~20, while a
+  replayed-coin run stays bit-identical to the engine.
 """
 
-import gc
 import time
 
 from repro.bipartite.generators import random_sparse_graph
 from repro.local import CSREngine, Network, run_local
 from repro.mis.luby import LubyMIS
 
-from _harness import attach_rows
+from _harness import attach_rows, best_of
 
 N = 10_000
 AVG_DEGREE = 24
 
-
-def _best_of(fn, repeat=3):
-    best = float("inf")
-    for _ in range(repeat):
-        was_enabled = gc.isenabled()
-        gc.disable()
-        start = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - start
-        if was_enabled:
-            gc.enable()
-        best = min(best, elapsed)
-    return best
+DENSE_N = 100_000
+DENSE_AVG_DEGREE = 20
 
 
 def test_e17_engine_mis_equivalence_and_speedup(benchmark):
@@ -46,14 +41,14 @@ def test_e17_engine_mis_equivalence_and_speedup(benchmark):
     assert reference.rounds == fast.rounds
     assert reference.completed and fast.completed
 
-    t_reference = _best_of(lambda: run_local(net, LubyMIS(), seed=1))
-    t_engine = _best_of(lambda: engine.run(LubyMIS(), seed=1))
+    t_reference = best_of(lambda: run_local(net, LubyMIS(), seed=1))
+    t_engine = best_of(lambda: engine.run(LubyMIS(), seed=1))
     speedup = t_reference / t_engine
     if speedup < 3.0:
         # One remeasure before failing: on shared CI runners a single noisy
         # window can depress the ratio; a genuine regression will reproduce.
-        t_reference = min(t_reference, _best_of(lambda: run_local(net, LubyMIS(), seed=1)))
-        t_engine = min(t_engine, _best_of(lambda: engine.run(LubyMIS(), seed=1)))
+        t_reference = min(t_reference, best_of(lambda: run_local(net, LubyMIS(), seed=1)))
+        t_engine = min(t_engine, best_of(lambda: engine.run(LubyMIS(), seed=1)))
         speedup = t_reference / t_engine
 
     benchmark(lambda: engine.run(LubyMIS(), seed=1))
@@ -73,6 +68,57 @@ def test_e17_engine_mis_equivalence_and_speedup(benchmark):
         ],
     )
     assert speedup >= 3.0, f"engine only {speedup:.2f}x faster than reference"
+
+
+def test_e18_dense_backend_mis_speedup(benchmark):
+    """Dense numpy kernels >= 10x over the CSR engine at n = 100k."""
+    from repro.local.dense import luby_mis_dense
+
+    adj = random_sparse_graph(DENSE_N, DENSE_AVG_DEGREE, seed=18)
+    engine = CSREngine(Network(adj))
+    engine.dense_arrays()  # pay the numpy mirror once, like the engine's packing
+
+    # Correctness before speed: a replayed-coin dense run must be
+    # bit-identical to the engine; the philox run must be a valid MIS.
+    fast = engine.run(LubyMIS(), seed=1)
+    replay = luby_mis_dense(engine, seed=1, coins="replay")
+    assert replay.rounds == fast.rounds
+    assert [bool(x) for x in replay.in_mis] == [
+        bool(v.state.get("in_mis")) for v in fast.views
+    ]
+    dense = luby_mis_dense(engine, seed=1, coins="philox")
+    assert dense.completed
+    from repro.mis.luby import is_mis
+
+    assert is_mis(adj, {int(i) for i in dense.in_mis.nonzero()[0]})
+
+    t_engine = best_of(lambda: engine.run(LubyMIS(), seed=1), repeat=2)
+    t_dense = best_of(lambda: luby_mis_dense(engine, seed=1, coins="philox"), repeat=5)
+    speedup = t_engine / t_dense
+    if speedup < 10.0:
+        t_engine = min(t_engine, best_of(lambda: engine.run(LubyMIS(), seed=1), repeat=2))
+        t_dense = min(
+            t_dense, best_of(lambda: luby_mis_dense(engine, seed=1, coins="philox"), repeat=5)
+        )
+        speedup = t_engine / t_dense
+
+    benchmark(lambda: luby_mis_dense(engine, seed=1, coins="philox"))
+    attach_rows(
+        benchmark,
+        "E18: dense numpy backend vs batched engine (Luby MIS)",
+        ["n", "avg deg", "rounds", "engine s", "dense s", "speedup"],
+        [
+            (
+                DENSE_N,
+                DENSE_AVG_DEGREE,
+                dense.rounds,
+                f"{t_engine:.3f}",
+                f"{t_dense:.4f}",
+                f"{speedup:.1f}x",
+            )
+        ],
+    )
+    assert speedup >= 10.0, f"dense backend only {speedup:.2f}x faster than engine"
 
 
 def test_e17_engine_mis_large_sweep_scales(benchmark):

@@ -45,28 +45,38 @@ from repro.exp.workloads import (  # noqa: E402
 )
 
 
-def build_specs(quick: bool, num_seeds: int):
-    """The sweep suite: every workload across the scenario topologies."""
+def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense")):
+    """The sweep suite: every workload across topologies x backends.
+
+    ``backends`` selects the execution-backend axis for the algorithm
+    workloads (``reference`` / ``engine`` / ``dense``); the
+    ``engine/throughput`` cell always measures all three side by side.
+    Scenario graphs are fixed per cell (trial seeds drive the coins), so
+    every backend and every seed of a cell reuses one packed engine.
+    """
     seeds = tuple(range(num_seeds))
     scale = 1 if quick else 4
     mis_n = 2_000 * scale
     specs = [
         ExperimentSpec(
-            f"mis/{topology}",
+            f"mis/{topology}@{backend}",
             luby_mis_workload,
-            {"topology": topology, "n": mis_n, "degree": 12},
+            {"topology": topology, "n": mis_n, "degree": 12, "backend": backend},
             seeds=seeds,
         )
         for topology in ("sparse", "regular", "torus", "powerlaw")
+        for backend in backends
     ]
     specs += [
         ExperimentSpec(
-            f"sinkless/{topology}",
+            f"sinkless/{topology}@{backend}",
             sinkless_workload,
-            {"topology": topology, "n": 1_000 * scale, "degree": 4},
+            {"topology": topology, "n": 1_000 * scale, "degree": 4, "backend": backend},
             seeds=seeds,
         )
         for topology in ("regular", "torus")
+        for backend in backends
+        if backend != "reference"  # sinkless has no reference-mode driver
     ]
     specs += [
         ExperimentSpec(
@@ -75,7 +85,7 @@ def build_specs(quick: bool, num_seeds: int):
             {"topology": "sparse", "n": 500 * scale, "degree": 48, "method": method},
             seeds=seeds,
         )
-        for method in ("local", "random")
+        for method in ("local", "dense", "random")
     ]
     specs.append(
         ExperimentSpec(
@@ -99,7 +109,7 @@ def _print_summary(sweep) -> None:
         entry = summary[name]
         metrics = entry["metrics"]
         parts = []
-        for key in ("rounds", "speedup", "mis_size", "violations", "solve_seconds"):
+        for key in ("rounds", "speedup", "dense_speedup", "mis_size", "violations", "solve_seconds"):
             if key in metrics:
                 value = metrics[key]["mean"]
                 parts.append(f"{key}={value:.3g}")
@@ -131,7 +141,8 @@ def _write_report(sweep, path: Path) -> None:
 
 
 def run_sweeps(args) -> int:
-    specs = build_specs(args.quick, args.seeds)
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    specs = build_specs(args.quick, args.seeds, backends=backends)
     out = Path(
         args.out
         if args.out
@@ -233,6 +244,9 @@ def main() -> int:
                         help="seeds per experiment (>= 1)")
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size (0 = inline, default = cpu count)")
+    parser.add_argument("--backends", default="engine,dense",
+                        help="comma-separated execution backends for the "
+                        "algorithm workloads (reference,engine,dense)")
     parser.add_argument("--out", default=None, help="JSON output path "
                         "(default BENCH_<date>.json)")
     parser.add_argument("--report", default=None, help="also write a markdown summary")

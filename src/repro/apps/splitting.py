@@ -198,6 +198,8 @@ def uniform_splitting(
     method: str = "derandomized",
     seed: SeedLike = None,
     max_attempts: int = 64,
+    coins="philox",
+    engine: Optional[CSREngine] = None,
 ) -> List[int]:
     """Split a general graph's nodes red/blue per the Section 4.1 spec.
 
@@ -207,16 +209,37 @@ def uniform_splitting(
     0-round process Las-Vegas (verify and retry); ``method="local"`` runs
     the same Las-Vegas process as a genuine message-passing algorithm
     (:class:`ZeroRoundSplitting`) on the batched engine, with the validity
-    check distributed to the nodes themselves.
+    check distributed to the nodes themselves; ``method="dense"`` runs the
+    identical Las-Vegas loop through the vectorized numpy kernel
+    (:func:`repro.local.dense.uniform_splitting_dense`) — with the default
+    counter-based ``coins="philox"`` it is distribution-identical with
+    O(1) per-attempt setup (the performance mode, like the other dense
+    pipelines), with ``coins="replay"`` the accepted partition is
+    bit-identical to ``method="local"`` for the same seed.  A prebuilt
+    ``engine`` over the same adjacency amortizes CSR packing across calls
+    (used by the ``local`` and ``dense`` methods only).
     """
     n = len(adjacency)
 
-    if method == "local":
+    if method in ("local", "dense"):
         rng = ensure_rng(seed)
-        engine = CSREngine(Network(adjacency))
-        algorithm = ZeroRoundSplitting(spec)
+        if engine is None:
+            engine = CSREngine(Network(adjacency))
+        if method == "dense":
+            from repro.local.dense import uniform_splitting_dense
+        else:
+            algorithm = ZeroRoundSplitting(spec)
         for _ in range(max_attempts):
             run_seed = rng.randrange(2**31)
+            if method == "dense":
+                dense = uniform_splitting_dense(
+                    engine, spec, seed=run_seed, coins=coins, red=RED, blue=BLUE
+                )
+                if ledger is not None:
+                    ledger.charge_simulated(dense.rounds, "0-round-splitting+check")
+                if dense.ok:
+                    return [int(c) for c in dense.colors]
+                continue
             result = engine.run(algorithm, max_rounds=1, seed=run_seed)
             if ledger is not None:
                 ledger.charge_simulated(result.rounds, "0-round-splitting+check")
@@ -224,7 +247,7 @@ def uniform_splitting(
             if all(ok for _, ok in outputs):
                 return [color for color, _ in outputs]
         raise RuntimeError(
-            f"local uniform splitting failed {max_attempts} times; "
+            f"{method} uniform splitting failed {max_attempts} times; "
             "constrained degrees are below the w.h.p. regime"
         )
 

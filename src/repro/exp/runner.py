@@ -64,6 +64,7 @@ class TrialResult:
     metrics: Dict[str, Any]
     elapsed: float  #: wall-clock seconds for the workload call
     error: Optional[str] = None  #: exception repr if the trial failed
+    setup_seconds: float = 0.0  #: one-off scenario setup (engine packing) paid by this trial
 
     @property
     def ok(self) -> bool:
@@ -76,6 +77,7 @@ class TrialResult:
             "params": self.params,
             "metrics": self.metrics,
             "elapsed": self.elapsed,
+            "setup_seconds": self.setup_seconds,
             "error": self.error,
         }
 
@@ -103,23 +105,30 @@ def _run_trial(
         # keep the workload's own value under an explicit name instead of
         # letting aggregation silently clobber one with the other.
         metrics["workload_elapsed"] = metrics.pop("elapsed")
+    # "setup_seconds" is the reserved channel for one-off scenario setup
+    # (CSR engine packing) amortized across a scenario's trials: the trial
+    # that built the engine reports the build time, cache hits report 0, so
+    # the JSON record separates build cost from per-trial solve cost.
+    setup = metrics.pop("setup_seconds", 0.0)
     return TrialResult(
         experiment=name,
         seed=seed,
         params=params,
         metrics=metrics,
         elapsed=time.perf_counter() - start,
+        setup_seconds=float(setup),
     )
 
 
 def aggregate(trials: Sequence[TrialResult]) -> Dict[str, Dict[str, Any]]:
     """Reduce trials to per-experiment summaries.
 
-    For every numeric metric (plus ``elapsed``) reports mean/std/min/max
-    over the successful seeds; also reports seed counts and any errors.
-    The ``elapsed`` key always holds the runner's wall-clock trial timing —
-    a workload metric of that name is stored as ``workload_elapsed`` (see
-    :func:`_run_trial`).
+    For every numeric metric (plus ``elapsed`` and ``setup_seconds``)
+    reports mean/std/min/max over the successful seeds; also reports seed
+    counts and any errors.  The ``elapsed`` key always holds the runner's
+    wall-clock trial timing — a workload metric of that name is stored as
+    ``workload_elapsed`` — and ``setup_seconds`` the amortized one-off
+    scenario setup cost (see :func:`_run_trial`).
     """
     by_experiment: Dict[str, List[TrialResult]] = {}
     for t in trials:
@@ -143,6 +152,7 @@ def aggregate(trials: Sequence[TrialResult]) -> Dict[str, Dict[str, Any]]:
             if values:
                 metrics[k] = _stats(values)
         metrics["elapsed"] = _stats([t.elapsed for t in good]) if good else {}
+        metrics["setup_seconds"] = _stats([t.setup_seconds for t in good]) if good else {}
         summary[name] = {
             "params": group[0].params,
             "seeds": [t.seed for t in group],

@@ -1,4 +1,9 @@
-"""LOCAL model: synchronous simulator, batched engine, ledger, complexity."""
+"""LOCAL model: synchronous simulator, batched engine, dense kernels, ledger.
+
+The dense (numpy) kernels are exported lazily: ``repro.local.luby_mis_dense``
+etc. resolve on first access so importing the package never requires numpy
+— the pure-Python reference and engine paths keep working without it.
+"""
 
 from repro.local.complexity import (
     degree_splitting_rounds,
@@ -40,4 +45,30 @@ __all__ = [
     "sequential_ids",
     "shuffled_ids",
     "sparse_random_ids",
+    # lazy (numpy-backed) dense kernel exports, resolved in __getattr__:
+    "DenseResult",
+    "luby_round_dense",
+    "luby_mis_dense",
+    "sinkless_trial_dense",
+    "dense_orientation",
+    "uniform_splitting_dense",
 ]
+
+_DENSE_NAMES = frozenset(
+    {
+        "DenseResult",
+        "luby_round_dense",
+        "luby_mis_dense",
+        "sinkless_trial_dense",
+        "dense_orientation",
+        "uniform_splitting_dense",
+    }
+)
+
+
+def __getattr__(name):  # PEP 562: defer the numpy import to first use
+    if name in _DENSE_NAMES:
+        from repro.local import dense
+
+        return getattr(dense, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,342 @@
+"""Vectorized dense round kernels: whole LOCAL rounds as numpy array ops.
+
+:class:`~repro.local.engine.CSREngine` removed the reference simulator's
+dict overhead, but its hot loop still makes O(active) Python hook calls
+(``init``/``broadcast``/``send``/``receive``) per round and pays ~9 µs per
+node of :func:`~repro.utils.rng.node_rng` setup.  For the paper's randomized
+pipelines — Luby MIS, trial-and-fix sinkless orientation, 0-round uniform
+splitting — the per-node logic is a few comparisons, so at n >= 10^5 the
+interpreter *is* the cost.
+
+The kernels here execute an entire round of one specific algorithm as
+masked array arithmetic over the engine's CSR layout
+(:meth:`CSREngine.dense_arrays`): candidate coin draws come from a
+:class:`~repro.utils.rng.CoinTable`, neighborhood reductions are
+``np.logical_or.reduceat`` / ``np.add.reduceat`` over the CSR segments, and
+the per-slot owner array ``np.repeat(arange(n), degrees)`` turns "compare
+me against each neighbor" into two gathers and a compare.
+
+Coin contract (see :class:`~repro.utils.rng.CoinTable`):
+
+* ``coins="replay"`` feeds the kernels the *exact* per-node ``node_rng``
+  streams the engine consumes, in the same per-node draw order, so outputs
+  and round counts are **bit-identical** to :class:`CSREngine` (and hence to
+  :func:`~repro.local.network.run_local`).  O(n) setup — for tests and
+  cross-checks.
+* ``coins="philox"`` uses a counter-based numpy stream with O(1) setup —
+  **distribution-identical** runs for performance work.
+
+Each kernel documents exactly which hook-level draws it replays; any change
+to the corresponding :class:`LocalAlgorithm` must be mirrored here (the
+equivalence property tests in ``tests/local/test_dense.py`` enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.local.engine import CSREngine
+from repro.utils.rng import CoinTable, as_coin_table
+from repro.utils.validation import require
+
+__all__ = [
+    "DenseResult",
+    "luby_round_dense",
+    "luby_mis_dense",
+    "sinkless_trial_dense",
+    "dense_orientation",
+    "uniform_splitting_dense",
+]
+
+
+class DenseResult:
+    """Outcome of a dense kernel run: per-node arrays instead of NodeViews."""
+
+    __slots__ = ("rounds", "completed", "data")
+
+    def __init__(self, rounds: int, completed: bool, **data):
+        self.rounds = rounds
+        self.completed = completed
+        self.data = data
+
+    def __getattr__(self, name):
+        try:
+            return self.data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+# ---------------------------------------------------------------------------
+# Segment (per-CSR-row) reductions.
+# ---------------------------------------------------------------------------
+
+
+def _segment_or(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment logical OR; empty segments reduce to False.
+
+    ``reduceat`` has two sharp edges this wraps: an empty segment yields the
+    element *at* its start index (garbage — masked out afterwards), and a
+    *trailing* empty segment has a start index of ``len(values)`` (out of
+    range — and clipping it would insert a bogus boundary that drops the
+    last slot of the final non-empty segment).  Trailing empties are the
+    suffix of starts equal to ``m``; we reduce only the prefix before them.
+    """
+    n = offsets.shape[0] - 1
+    m = values.shape[0]
+    out = np.zeros(n, dtype=bool)
+    if m == 0:
+        return out
+    starts = offsets[:-1]
+    k = int(np.searchsorted(starts, m))  # first trailing-empty segment
+    out[:k] = np.logical_or.reduceat(values, starts[:k])
+    out[starts == offsets[1:]] = False
+    return out
+
+
+def _segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment sum; empty segments reduce to 0 (see :func:`_segment_or`)."""
+    n = offsets.shape[0] - 1
+    m = values.shape[0]
+    out = np.zeros(n, dtype=values.dtype)
+    if m == 0:
+        return out
+    starts = offsets[:-1]
+    k = int(np.searchsorted(starts, m))
+    out[:k] = np.add.reduceat(values, starts[:k])
+    out[starts == offsets[1:]] = 0
+    return out
+
+
+def _slot_owner(offsets: np.ndarray) -> np.ndarray:
+    """``owner[k]`` = the node whose CSR row contains slot ``k``."""
+    n = offsets.shape[0] - 1
+    return np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+
+
+def _uids(engine: CSREngine) -> np.ndarray:
+    return np.asarray(engine.network.ids, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Luby MIS.
+# ---------------------------------------------------------------------------
+
+
+def luby_round_dense(
+    active: np.ndarray,
+    r: np.ndarray,
+    uid: np.ndarray,
+    offsets: np.ndarray,
+    dst_node: np.ndarray,
+    owner: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One Luby phase (priority exchange + announcement) as array ops.
+
+    ``active`` is the per-node frontier mask, ``r`` the per-node priority
+    coins (only entries of active nodes are read).  Returns
+    ``(joining, killed)``: nodes that enter the MIS this phase, and nodes
+    eliminated because a neighbor joined.  The priority order is the
+    engine's tuple compare ``(r, uid)`` — ties on ``r`` (possible across
+    independent replay streams) break on uid, exactly like
+    :class:`~repro.mis.luby.LubyMIS`, so there is no float-tie hazard.
+    """
+    # Slot k: does the (active) neighbor at this slot beat the slot's owner?
+    nbr = dst_node
+    nbr_better = active[nbr] & (
+        (r[nbr] > r[owner]) | ((r[nbr] == r[owner]) & (uid[nbr] > uid[owner]))
+    )
+    joining = active & ~_segment_or(nbr_better, offsets)
+    killed = active & ~joining & _segment_or(joining[nbr], offsets)
+    return joining, killed
+
+
+def luby_mis_dense(
+    engine: CSREngine,
+    seed: int = 0,
+    coins="philox",
+    max_rounds: int = 10_000,
+) -> DenseResult:
+    """Luby's MIS as dense phases; same semantics as running
+    :class:`~repro.mis.luby.LubyMIS` on the engine.
+
+    Replayed draws per engine hook call: one ``random()`` per *active* node
+    per odd (priority) round, nothing on even rounds; degree-0 nodes join
+    the MIS in ``init`` and never draw.  With ``coins="replay"`` the
+    returned ``in_mis`` mask and round count are bit-identical to the
+    engine's outputs for the same seed.
+
+    Returns a :class:`DenseResult` with ``in_mis`` (bool array of length n).
+    """
+    require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
+    offsets, dst_node, _ = engine.dense_arrays()
+    n = engine.n
+    uid = _uids(engine)
+    table = as_coin_table(coins, seed, engine.network.ids)
+    degrees = np.diff(offsets)
+
+    in_mis = degrees == 0  # isolated nodes join immediately (init)
+    active = ~in_mis
+    owner = _slot_owner(offsets)
+    r = np.zeros(n, dtype=np.float64)
+
+    rounds = 0
+    while active.any():
+        if rounds + 1 > max_rounds:
+            break
+        # Odd round: active nodes draw priorities (index order, like the
+        # engine's broadcast sweep — per-node replay streams make the
+        # cross-node order immaterial, the per-node draw count exact).
+        act_idx = np.flatnonzero(active)
+        r[act_idx] = table.uniforms(act_idx)
+        rounds += 1
+        if rounds + 1 > max_rounds:
+            break  # engine would stop after the odd round, mid-phase
+        joining, killed = luby_round_dense(active, r, uid, offsets, dst_node, owner)
+        in_mis |= joining
+        active &= ~(joining | killed)
+        rounds += 1
+    return DenseResult(rounds, completed=not active.any(), in_mis=in_mis)
+
+
+# ---------------------------------------------------------------------------
+# Trial-and-fix sinkless orientation.
+# ---------------------------------------------------------------------------
+
+
+def sinkless_trial_dense(
+    engine: CSREngine,
+    min_degree: int = 1,
+    seed: int = 0,
+    coins="philox",
+    max_rounds: int = 200,
+) -> DenseResult:
+    """Trial-and-fix sinkless orientation as dense rounds.
+
+    Mirrors :class:`~repro.orientation.sinkless.TrialAndFixSinkless` driven
+    by :func:`~repro.orientation.sinkless.run_trial_and_fix`'s global probe:
+
+    * round 1 — every node draws one coin per port (port order); for each
+      edge the higher-uid endpoint's coin decides the direction;
+    * rounds >= 2 — every *current sink* (own-view: degree >= ``min_degree``
+      and no outward port) draws one ``randrange(degree)`` and flips that
+      port outward; the neighbor marks the paired port inward.  Two sinks
+      flipping the same edge in one round leave both sides inward — the
+      reference's exact (quirky) semantics;
+    * after each round >= 2 the harness-side probe checks the *extracted*
+      orientation (lower endpoint's view wins) and stops when sink-free.
+
+    Requires a simple graph (no multi-edges or self-loops): the probe's
+    orientation dict collapses parallel edges, which has no faithful slot
+    representation.  Returns a :class:`DenseResult` with ``out`` (bool per
+    CSR slot, True = outward in the owner's own view).  Raises
+    ``RuntimeError`` if no sink-free round occurs within ``max_rounds``,
+    matching the driver.
+    """
+    require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
+    offsets, dst_node, dst_port = engine.dense_arrays()
+    n = engine.n
+    uid = _uids(engine)
+    degrees = np.diff(offsets)
+    owner = _slot_owner(offsets)
+    m = dst_node.shape[0]
+
+    pair_keys = owner * np.int64(n) + dst_node
+    require(
+        np.unique(pair_keys).shape[0] == m,
+        "sinkless_trial_dense requires a simple graph (no multi-edges/self-loops)",
+    )
+    # partner[k]: the CSR slot on the other endpoint of slot k's edge.
+    partner = offsets[:-1][dst_node] + dst_port
+
+    table = as_coin_table(coins, seed, engine.network.ids)
+
+    # Round 1: per-port proposals, higher-uid endpoint's coin wins; the
+    # winner's coin True means "winner's side points outward".
+    coins1 = table.uniform_runs(np.arange(n, dtype=np.int64), degrees) < 0.5
+    higher = uid[owner] > uid[dst_node]
+    out = np.where(higher, coins1, ~coins1[partner])
+    rounds = 1
+
+    constrained = degrees >= min_degree
+    low_view = owner < dst_node  # extraction rule: lower *index* endpoint's view
+
+    for round_no in range(2, max_rounds + 1):
+        # Send phase: sinks by their own view flip one uniformly random port.
+        sinks_own = constrained & ~_segment_or(out, offsets)
+        sink_idx = np.flatnonzero(sinks_own)
+        if sink_idx.shape[0]:
+            ports = table.randints(sink_idx, degrees[sink_idx])
+            chosen = offsets[:-1][sink_idx] + ports
+            out[chosen] = True
+            # Receive phase: the paired port is marked inward.  A doubly
+            # flipped edge has each chosen slot as the other's partner, so
+            # both end False — exactly the reference outcome.
+            out[partner[chosen]] = False
+        rounds = round_no
+        # Probe: extract the orientation (lower-index endpoint's slot is
+        # authoritative) and stop at the first globally sink-free round.
+        effective_out = np.where(low_view, out, ~out[partner])
+        if not (constrained & ~_segment_or(effective_out, offsets)).any():
+            return DenseResult(rounds, completed=True, out=out)
+    raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
+
+
+def dense_orientation(
+    engine: CSREngine, out: np.ndarray
+) -> Dict[Tuple[int, int], bool]:
+    """Extract the ``{(u, v): True}`` orientation dict from slot states.
+
+    Same rule as the simulator driver: for each edge the lower-index
+    endpoint's slot decides the direction.
+    """
+    offsets, dst_node, _ = engine.dense_arrays()
+    owner = _slot_owner(offsets)
+    low = np.flatnonzero(owner < dst_node)
+    srcs = np.where(out[low], owner[low], dst_node[low])
+    dsts = np.where(out[low], dst_node[low], owner[low])
+    return {(int(u), int(v)): True for u, v in zip(srcs, dsts)}
+
+
+# ---------------------------------------------------------------------------
+# Uniform (Section 4.1) 0-round splitting.
+# ---------------------------------------------------------------------------
+
+
+def uniform_splitting_dense(
+    engine: CSREngine,
+    spec,
+    seed: int = 0,
+    coins="philox",
+    red: int = 0,
+    blue: int = 1,
+) -> DenseResult:
+    """One attempt of the 0-round splitting + 1-round verification, dense.
+
+    Mirrors :class:`~repro.apps.splitting.ZeroRoundSplitting` for one run
+    seed: every node draws one coin in ``init`` (index order) and colors
+    itself red iff the coin is < 1/2; the verification round counts each
+    node's red neighbors over its CSR segment and checks the spec bounds for
+    constrained degrees.  The Las-Vegas retry loop lives in
+    :func:`repro.apps.splitting.uniform_splitting` (``method="dense"``).
+
+    Returns a :class:`DenseResult` with ``colors`` (int array) and ``ok``
+    (bool: every constrained node inside ``[lo, hi]``); ``rounds`` is 1,
+    the verification round, matching the engine's charge.
+    """
+    offsets, dst_node, _ = engine.dense_arrays()
+    n = engine.n
+    degrees = np.diff(offsets)
+    table = as_coin_table(coins, seed, engine.network.ids)
+
+    u = table.uniforms(np.arange(n, dtype=np.int64))
+    colors = np.where(u < 0.5, red, blue)
+    red_nbrs = _segment_sum((colors[dst_node] == red).astype(np.int64), offsets)
+    # spec.lo / spec.hi / spec.constrains are affine in the degree, so they
+    # vectorize directly over the degree array.
+    constrained = spec.constrains(degrees)
+    ok = bool(
+        (~constrained | ((red_nbrs >= spec.lo(degrees)) & (red_nbrs <= spec.hi(degrees)))).all()
+    )
+    return DenseResult(1, completed=True, colors=colors, ok=ok)

@@ -99,6 +99,25 @@ class CSREngine:
             list(zip(dst_node[offsets[i]:offsets[i + 1]], dst_port[offsets[i]:offsets[i + 1]]))
             for i in range(n)
         ]
+        self._dense_arrays = None  # numpy mirrors, built lazily on first use
+
+    def dense_arrays(self):
+        """The CSR layout as numpy int64 arrays ``(offsets, dst_node, dst_port)``.
+
+        Built on first call and cached; this is the substrate the vectorized
+        round kernels in :mod:`repro.local.dense` index into.  Requires
+        numpy (imported lazily so the pure-Python engine path works without
+        it).
+        """
+        if self._dense_arrays is None:
+            import numpy as np
+
+            self._dense_arrays = (
+                np.asarray(self.offsets, dtype=np.int64),
+                np.asarray(self.dst_node, dtype=np.int64),
+                np.asarray(self.dst_port, dtype=np.int64),
+            )
+        return self._dense_arrays
 
     @property
     def n(self) -> int:

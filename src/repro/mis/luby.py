@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.local.ledger import RoundLedger
 from repro.local.network import LocalAlgorithm, Network, NodeView
-from repro.local.engine import run_local_fast
+from repro.local.engine import CSREngine, run_local_fast
 from repro.utils.validation import require
 
 __all__ = ["LubyMIS", "luby_mis", "is_mis"]
@@ -85,14 +85,38 @@ def luby_mis(
     ledger: Optional[RoundLedger] = None,
     max_rounds: int = 10_000,
     label: str = "luby-mis",
+    method: str = "engine",
+    coins="philox",
+    engine=None,
 ) -> Tuple[Set[int], int]:
     """Run Luby's MIS; returns (MIS node set, simulated rounds).
 
-    Executes on the batched CSR engine, which is bit-identical to the
-    reference :func:`repro.local.network.run_local` for a fixed seed.
+    ``method="engine"`` (default) executes on the batched CSR engine, which
+    is bit-identical to the reference :func:`repro.local.network.run_local`
+    for a fixed seed.  ``method="dense"`` executes the vectorized numpy
+    kernel (:func:`repro.local.dense.luby_mis_dense`): with
+    ``coins="replay"`` it reproduces the engine's outputs bit-for-bit, with
+    the default counter-based ``coins="philox"`` it is
+    distribution-identical and O(1)-setup — the mode for n >= 10^5.  Pass a
+    prebuilt ``engine`` (:class:`~repro.local.engine.CSREngine` over the
+    same adjacency) to amortize CSR packing across calls.
     """
-    net = Network(adjacency)
-    result = run_local_fast(net, LubyMIS(), max_rounds=max_rounds, seed=seed)
+    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    if method == "dense":
+        from repro.local.dense import luby_mis_dense
+
+        if engine is None:
+            engine = CSREngine(Network(adjacency))
+        result = luby_mis_dense(engine, seed=seed, coins=coins, max_rounds=max_rounds)
+        require(result.completed, "Luby MIS did not terminate within the round cap")
+        mis = {int(i) for i in result.in_mis.nonzero()[0]}
+        if ledger is not None:
+            ledger.charge_simulated(result.rounds, label)
+        return mis, result.rounds
+    if engine is not None:
+        result = engine.run(LubyMIS(), max_rounds=max_rounds, seed=seed)
+    else:
+        result = run_local_fast(Network(adjacency), LubyMIS(), max_rounds=max_rounds, seed=seed)
     require(result.completed, "Luby MIS did not terminate within the round cap")
     mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
     if ledger is not None:

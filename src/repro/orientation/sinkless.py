@@ -190,18 +190,39 @@ def run_trial_and_fix(
     min_degree: int = 1,
     seed: int = 0,
     max_rounds: int = 200,
+    method: str = "engine",
+    coins="philox",
+    engine=None,
 ) -> Tuple[GraphOrientation, int]:
     """Run :class:`TrialAndFixSinkless` until globally sink-free.
 
-    Uses the batched engine with a global stopping probe (the harness may
-    observe the configuration; the nodes themselves never use global
-    information).  The probe checks for sinks after each round — one O(R)
-    pass, where the reference simulator's rerun-under-growing-caps emulation
-    cost O(R²) — and fires from round 2 onward, matching the historical
-    "at least one proposal round plus one fix round" accounting.  Returns
-    the orientation and the number of rounds.
+    ``method="engine"`` (default) uses the batched engine with a global
+    stopping probe (the harness may observe the configuration; the nodes
+    themselves never use global information).  The probe checks for sinks
+    after each round — one O(R) pass, where the reference simulator's
+    rerun-under-growing-caps emulation cost O(R²) — and fires from round 2
+    onward, matching the historical "at least one proposal round plus one
+    fix round" accounting.
+
+    ``method="dense"`` runs the vectorized numpy kernel
+    (:func:`repro.local.dense.sinkless_trial_dense`): bit-identical
+    orientation and round count with ``coins="replay"``,
+    distribution-identical with the default O(1)-setup ``coins="philox"``.
+    Pass a prebuilt ``engine`` over the same adjacency to amortize CSR
+    packing across calls.  Returns the orientation and the round count.
     """
-    net = Network(adj)
+    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    if method == "dense":
+        from repro.local.dense import dense_orientation, sinkless_trial_dense
+
+        if engine is None:
+            engine = CSREngine(Network(adj))
+        dense = sinkless_trial_dense(
+            engine, min_degree=min_degree, seed=seed, coins=coins, max_rounds=max_rounds
+        )
+        return dense_orientation(engine, dense.out), dense.rounds
+
+    net = engine.network if engine is not None else Network(adj)
     algo = TrialAndFixSinkless(min_degree=min_degree)
 
     def probe(round_no: int, views) -> bool:
@@ -210,7 +231,9 @@ def run_trial_and_fix(
         orientation = _views_to_orientation(adj, _Views(views))
         return not sinks(adj, orientation, min_degree)
 
-    result = CSREngine(net).run(algo, max_rounds=max_rounds, seed=seed, probe=probe)
+    if engine is None:
+        engine = CSREngine(net)
+    result = engine.run(algo, max_rounds=max_rounds, seed=seed, probe=probe)
     orientation = _views_to_orientation(adj, result)
     if result.rounds >= 2 and not sinks(adj, orientation, min_degree):
         return orientation, result.rounds

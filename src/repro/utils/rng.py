@@ -11,9 +11,9 @@ master seed and its identifier, untouched by other nodes' consumption).
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
-__all__ = ["ensure_rng", "spawn", "node_rng"]
+__all__ = ["ensure_rng", "spawn", "node_rng", "CoinTable", "as_coin_table"]
 
 SeedLike = Union[None, int, random.Random]
 
@@ -38,3 +38,116 @@ def spawn(rng: random.Random, label: str) -> random.Random:
 def node_rng(master_seed: int, node_id: int, salt: str = "") -> random.Random:
     """Private coin source for one node, a pure function of seed and id."""
     return random.Random(f"{master_seed}/{node_id}/{salt}")
+
+
+class CoinTable:
+    """Per-node coin supply for the dense (vectorized) execution backend.
+
+    The dense round kernels in :mod:`repro.local.dense` consume randomness
+    in bulk — one array of uniforms per phase instead of ``n`` individual
+    ``random.Random`` calls.  A :class:`CoinTable` abstracts where those
+    arrays come from, with two contracts:
+
+    ``kind="philox"`` (default)
+        Coins are drawn from one numpy counter-based Philox stream keyed by
+        the master seed.  Setup is O(1) — no per-node generator objects —
+        which is the whole point at n >= 10^5, where building ``n``
+        sha512-seeded :func:`node_rng` instances (~9 µs each) would dominate
+        the run.  Runs are deterministic per seed and *distribution-identical*
+        to the engine (same independent-uniform law), but **not bit-identical**
+        to it: the values drawn depend on how many nodes are active each
+        phase, not on node identity.  Use for performance runs; validity is
+        covered by the statistical tests.
+
+    ``kind="replay"``
+        Coins are replayed from the exact per-node :func:`node_rng` streams
+        the reference simulator and :class:`~repro.local.engine.CSREngine`
+        consume, one stream per node keyed by the node's uid.  A dense
+        kernel that draws the same number of coins per node per phase as the
+        engine's hook calls therefore produces **bit-identical** outputs.
+        Setup is O(n) — this mode exists for equivalence testing and exact
+        cross-checks, not speed.
+
+    Kernels must route *every* random decision through this table (uniform
+    coins via :meth:`uniforms`/:meth:`uniform_runs`, port choices via
+    :meth:`randints`) so the replay contract stays exact.
+    """
+
+    KINDS = ("philox", "replay")
+
+    def __init__(self, seed: int, ids: Sequence[int], kind: str = "philox"):
+        import numpy as np  # lazy: the pure-Python paths never need numpy
+
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown coin table kind {kind!r}; expected one of {self.KINDS}")
+        self._np = np
+        self.kind = kind
+        self.seed = seed
+        if kind == "philox":
+            # Counter-based bit generator: O(1) setup regardless of n.
+            self._gen = np.random.Generator(np.random.Philox(key=seed & (2**64 - 1)))
+            self._streams = None
+        else:
+            self._gen = None
+            self._streams = [node_rng(seed, uid) for uid in ids]
+
+    def uniforms(self, idx) -> "object":
+        """One uniform in [0, 1) per node index in ``idx`` (float64 array).
+
+        In replay mode the value for node ``i`` is the next ``random()`` of
+        that node's own stream; in philox mode values come off the shared
+        counter stream in order.
+        """
+        np = self._np
+        idx = np.asarray(idx, dtype=np.int64)
+        if self._gen is not None:
+            return self._gen.random(idx.shape[0])
+        streams = self._streams
+        return np.array([streams[i].random() for i in idx], dtype=np.float64)
+
+    def uniform_runs(self, idx, counts) -> "object":
+        """``counts[k]`` consecutive uniforms for node ``idx[k]``, concatenated.
+
+        Matches a per-node loop that draws ``counts[k]`` values in a row from
+        node ``idx[k]``'s stream (e.g. one coin per port in port order).
+        """
+        np = self._np
+        idx = np.asarray(idx, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        total = int(counts.sum())
+        if self._gen is not None:
+            return self._gen.random(total)
+        out = np.empty(total, dtype=np.float64)
+        k = 0
+        streams = self._streams
+        for i, c in zip(idx, counts):
+            s = streams[i]
+            for _ in range(c):
+                out[k] = s.random()
+                k += 1
+        return out
+
+    def randints(self, idx, bounds) -> "object":
+        """One integer in ``[0, bounds[k])`` per node index in ``idx``.
+
+        Replay mode calls each node's ``randrange`` (bit-identical to the
+        engine's port choice); philox mode maps uniforms through ``floor``
+        (the float rounding bias at these bound sizes is < 2^-40 — far below
+        anything the statistical tests can see).
+        """
+        np = self._np
+        idx = np.asarray(idx, dtype=np.int64)
+        bounds = np.asarray(bounds, dtype=np.int64)
+        if self._gen is not None:
+            return (self._gen.random(idx.shape[0]) * bounds).astype(np.int64)
+        streams = self._streams
+        return np.array(
+            [streams[i].randrange(b) for i, b in zip(idx, bounds)], dtype=np.int64
+        )
+
+
+def as_coin_table(coins, seed: int, ids: Sequence[int]) -> CoinTable:
+    """Coerce ``coins`` (a kind string or an existing table) to a CoinTable."""
+    if isinstance(coins, CoinTable):
+        return coins
+    return CoinTable(seed, ids, kind=coins)

@@ -11,6 +11,7 @@ from repro.exp.workloads import (
     build_topology,
     engine_throughput_workload,
     luby_mis_workload,
+    scenario_engine,
     sinkless_workload,
     splitting_workload,
 )
@@ -68,6 +69,16 @@ class TestInlineSweep:
     def test_non_dict_result_wrapped(self):
         result = _run_trial("x", lambda seed: seed * 2, {}, 3)
         assert result.metrics == {"result": 6}
+
+    def test_setup_seconds_reserved_metric(self):
+        # The reserved key moves to the record field and out of metrics, so
+        # one-off engine packing is not averaged into per-trial solve cost.
+        result = _run_trial("x", lambda seed: {"v": 1, "setup_seconds": 2.5}, {}, 0)
+        assert result.setup_seconds == 2.5
+        assert "setup_seconds" not in result.metrics
+        assert result.to_dict()["setup_seconds"] == 2.5
+        summary = aggregate([result])["x"]
+        assert summary["metrics"]["setup_seconds"]["max"] == 2.5
 
 
 class TestAggregate:
@@ -177,4 +188,40 @@ class TestWorkloads:
     def test_engine_throughput_workload(self):
         metrics = engine_throughput_workload(seed=0, n=400, degree=6)
         assert metrics["speedup"] > 0
+        assert metrics["dense_speedup"] > 0
+        assert metrics["reference_seconds"] > 0
+        assert metrics["engine_seconds"] > 0
+        assert metrics["dense_seconds"] > 0
         assert metrics["rounds"] >= 2
+
+    def test_backend_axis_same_scenario(self):
+        # All backends see the same fixed scenario graph; engine and
+        # reference are bit-identical, dense (philox) is valid on it.
+        kwargs = dict(topology="sparse", n=150, degree=5, graph_seed=77)
+        ref = luby_mis_workload(seed=3, backend="reference", **kwargs)
+        eng = luby_mis_workload(seed=3, backend="engine", **kwargs)
+        dense = luby_mis_workload(seed=3, backend="dense", **kwargs)
+        assert ref["n"] == eng["n"] == dense["n"]
+        assert ref["m"] == eng["m"] == dense["m"]
+        assert (ref["rounds"], ref["mis_size"]) == (eng["rounds"], eng["mis_size"])
+        assert dense["mis_size"] > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            luby_mis_workload(seed=0, topology="torus", n=64, degree=4, backend="gpu")
+
+    def test_sinkless_workload_dense_backend(self):
+        metrics = sinkless_workload(seed=0, topology="regular", n=60, degree=4, backend="dense")
+        assert metrics["rounds"] >= 2
+
+    def test_splitting_workload_dense_method(self):
+        metrics = splitting_workload(
+            seed=0, topology="sparse", n=200, degree=40, method="dense"
+        )
+        assert metrics["violations"] == 0
+
+    def test_scenario_engine_amortized(self):
+        engine1, setup1 = scenario_engine("torus", 90, 4, graph_seed=123456)
+        engine2, setup2 = scenario_engine("torus", 90, 4, graph_seed=123456)
+        assert engine2 is engine1
+        assert setup1 > 0.0 and setup2 == 0.0

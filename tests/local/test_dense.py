@@ -1,0 +1,286 @@
+"""Dense-backend tests: replay bit-identity and philox statistical validity.
+
+Two contracts from ``repro/local/dense.py``:
+
+* with ``coins="replay"`` every dense kernel is **bit-identical** to the
+  CSR engine (itself bit-identical to ``run_local``) — same outputs and
+  round counts for any graph and seed; property-tested here on random
+  graphs at n <= 200 across seeds;
+* with ``coins="philox"`` runs are **distribution-identical**: every
+  output must satisfy the algorithm's validity predicate (independence +
+  maximality, sinklessness, splitting discrepancy bounds), checked across
+  many seeds.
+"""
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.apps.splitting import uniform_splitting  # noqa: E402
+from repro.bipartite.generators import (  # noqa: E402
+    configuration_model_regular,
+    grid_graph,
+    random_sparse_graph,
+)
+from repro.core.problems import UniformSplittingSpec  # noqa: E402
+from repro.core.verifiers import uniform_splitting_violations  # noqa: E402
+from repro.local import CSREngine, Network, run_local  # noqa: E402
+from repro.local.dense import (  # noqa: E402
+    dense_orientation,
+    luby_mis_dense,
+    sinkless_trial_dense,
+    uniform_splitting_dense,
+)
+from repro.mis.luby import LubyMIS, is_mis, luby_mis  # noqa: E402
+from repro.orientation.sinkless import is_sinkless, run_trial_and_fix  # noqa: E402
+
+
+def engine_mis(engine, seed, max_rounds=10_000):
+    result = engine.run(LubyMIS(), max_rounds=max_rounds, seed=seed)
+    return [bool(v.state.get("in_mis")) for v in result.views], result.rounds, result.completed
+
+
+class TestLubyReplayBitIdentity:
+    """dense(replay) == engine == run_local, property-tested at n <= 200."""
+
+    def test_random_sparse_graphs(self):
+        for trial in range(8):
+            rng = random.Random(trial)
+            n = rng.randint(2, 200)
+            adj = random_sparse_graph(n, min(n - 1, rng.uniform(0.5, 8)), seed=trial)
+            net = Network(adj)
+            engine = CSREngine(net)
+            for seed in (0, 1, 7):
+                mis, rounds, completed = engine_mis(engine, seed)
+                dense = luby_mis_dense(engine, seed=seed, coins="replay")
+                assert dense.rounds == rounds
+                assert dense.completed == completed
+                assert [bool(x) for x in dense.in_mis] == mis
+                # ... and the engine agrees with the reference simulator.
+                ref = run_local(net, LubyMIS(), seed=seed)
+                assert ref.rounds == rounds
+                assert [bool(v.state.get("in_mis")) for v in ref.views] == mis
+
+    def test_structured_topologies_and_shuffled_ids(self):
+        nets = [
+            Network(configuration_model_regular(60, 4, seed=2)),
+            Network(grid_graph(7, 8, periodic=True)),
+            Network(random_sparse_graph(50, 3, seed=9), ids=[1000 - i for i in range(50)]),
+        ]
+        for net in nets:
+            engine = CSREngine(net)
+            for seed in (3, 11):
+                mis, rounds, _ = engine_mis(engine, seed)
+                dense = luby_mis_dense(engine, seed=seed, coins="replay")
+                assert dense.rounds == rounds
+                assert [bool(x) for x in dense.in_mis] == mis
+
+    def test_multi_edges_supported(self):
+        # Parallel edges just duplicate priority comparisons; outputs match.
+        adj = [[1, 1, 2], [0, 0, 2], [0, 1]]
+        engine = CSREngine(Network(adj))
+        for seed in (0, 5):
+            mis, rounds, _ = engine_mis(engine, seed)
+            dense = luby_mis_dense(engine, seed=seed, coins="replay")
+            assert dense.rounds == rounds and [bool(x) for x in dense.in_mis] == mis
+
+    def test_edgeless_and_tiny_graphs(self):
+        for adj in ([], [[]], [[], []], [[1], [0]]):
+            engine = CSREngine(Network(adj))
+            mis, rounds, completed = engine_mis(engine, 0)
+            dense = luby_mis_dense(engine, seed=0, coins="replay")
+            assert dense.rounds == rounds and dense.completed == completed
+            assert [bool(x) for x in dense.in_mis] == mis
+
+    def test_trailing_isolated_nodes(self):
+        # Regression: trailing empty CSR segments have reduceat start == m;
+        # a clipped start silently dropped the last slot of the final
+        # non-empty segment, corrupting every neighborhood reduction.
+        graphs = [
+            [[1, 2], [0, 2], [0, 1], []],  # triangle + trailing isolated node
+            [[1], [0], [], []],
+            [[], [2], [1], [], []],  # interior + trailing empties
+        ]
+        for adj in graphs:
+            engine = CSREngine(Network(adj))
+            for seed in (0, 1, 2, 5):
+                mis, rounds, completed = engine_mis(engine, seed)
+                dense = luby_mis_dense(engine, seed=seed, coins="replay")
+                assert [bool(x) for x in dense.in_mis] == mis, (adj, seed)
+                assert dense.rounds == rounds and dense.completed == completed
+                assert is_mis(adj, {int(i) for i in dense.in_mis.nonzero()[0]})
+
+    def test_round_cap_matches_engine(self):
+        adj = random_sparse_graph(40, 4, seed=3)
+        engine = CSREngine(Network(adj))
+        for cap in (0, 1, 2, 3):
+            mis, rounds, completed = engine_mis(engine, 1, max_rounds=cap)
+            dense = luby_mis_dense(engine, seed=1, coins="replay", max_rounds=cap)
+            assert dense.rounds == rounds
+            assert dense.completed == completed
+
+    def test_method_dense_through_luby_mis(self):
+        adj = random_sparse_graph(80, 5, seed=4)
+        for seed in (0, 2):
+            assert luby_mis(adj, seed=seed) == luby_mis(
+                adj, seed=seed, method="dense", coins="replay"
+            )
+
+
+class TestSinklessReplayBitIdentity:
+    def test_regular_graphs(self):
+        for trial in range(4):
+            adj = configuration_model_regular(50, 4, seed=trial)
+            engine = CSREngine(Network(adj))
+            for seed in (0, 3):
+                orientation, rounds = run_trial_and_fix(adj, min_degree=2, seed=seed)
+                dense = sinkless_trial_dense(engine, min_degree=2, seed=seed, coins="replay")
+                assert dense.rounds == rounds
+                assert dense_orientation(engine, dense.out) == orientation
+
+    def test_torus_and_sparse(self):
+        graphs = [
+            grid_graph(6, 7, periodic=True),
+            random_sparse_graph(60, 5, seed=8),
+        ]
+        for adj in graphs:
+            engine = CSREngine(Network(adj))
+            for seed in (1, 4):
+                orientation, rounds = run_trial_and_fix(adj, min_degree=1, seed=seed)
+                dense = sinkless_trial_dense(engine, min_degree=1, seed=seed, coins="replay")
+                assert dense.rounds == rounds
+                assert dense_orientation(engine, dense.out) == orientation
+
+    def test_method_dense_through_driver(self):
+        adj = configuration_model_regular(40, 4, seed=5)
+        for seed in (0, 2):
+            assert run_trial_and_fix(adj, min_degree=2, seed=seed) == run_trial_and_fix(
+                adj, min_degree=2, seed=seed, method="dense", coins="replay"
+            )
+
+    def test_multi_edge_rejected(self):
+        engine = CSREngine(Network([[1, 1], [0, 0]]))
+        with pytest.raises(ValueError):
+            sinkless_trial_dense(engine, seed=0)
+
+    def test_trailing_isolated_nodes(self):
+        # Regression companion to the Luby case: the sink checks (own-view
+        # and probe) must survive trailing empty CSR segments.
+        adj = [[1, 2], [0, 2], [0, 1], []]
+        engine = CSREngine(Network(adj))
+        for seed in (0, 1, 3):
+            orientation, rounds = run_trial_and_fix(adj, min_degree=2, seed=seed)
+            dense = sinkless_trial_dense(engine, min_degree=2, seed=seed, coins="replay")
+            assert dense.rounds == rounds
+            assert dense_orientation(engine, dense.out) == orientation
+
+    def test_round_cap_raises_like_driver(self):
+        # A single cycle with min_degree=2: solvable, but cap it at round 1.
+        adj = [[1, 2], [0, 2], [0, 1]]
+        engine = CSREngine(Network(adj))
+        with pytest.raises(RuntimeError):
+            sinkless_trial_dense(engine, min_degree=2, seed=0, max_rounds=1)
+
+
+class TestSplittingReplayBitIdentity:
+    def test_partition_matches_local_method(self):
+        adj = random_sparse_graph(200, 40.0, seed=3)
+        spec = UniformSplittingSpec(eps=0.25, min_constrained_degree=15)
+        for seed in (0, 1, 5):
+            local = uniform_splitting(adj, spec, method="local", seed=seed)
+            dense = uniform_splitting(adj, spec, method="dense", seed=seed, coins="replay")
+            assert local == dense
+
+    def test_trailing_isolated_nodes(self):
+        # Regression: red-neighbor segment sums with trailing empty segments.
+        from repro.apps.splitting import ZeroRoundSplitting
+
+        adj = [[1, 2], [0, 2], [0, 1], [], []]
+        engine = CSREngine(Network(adj))
+        spec = UniformSplittingSpec(eps=0.45, min_constrained_degree=2)
+        for run_seed in range(6):
+            result = engine.run(ZeroRoundSplitting(spec), max_rounds=1, seed=run_seed)
+            dense = uniform_splitting_dense(engine, spec, seed=run_seed, coins="replay")
+            assert [int(c) for c in dense.colors] == [c for c, _ in result.outputs()]
+            assert dense.ok == all(ok for _, ok in result.outputs())
+
+    def test_single_attempt_matches_zero_round_algorithm(self):
+        from repro.apps.splitting import ZeroRoundSplitting
+
+        adj = random_sparse_graph(120, 30.0, seed=5)
+        engine = CSREngine(Network(adj))
+        spec = UniformSplittingSpec(eps=0.3, min_constrained_degree=10)
+        for run_seed in (0, 1, 2, 99):
+            result = engine.run(ZeroRoundSplitting(spec), max_rounds=1, seed=run_seed)
+            dense = uniform_splitting_dense(engine, spec, seed=run_seed, coins="replay")
+            assert [int(c) for c in dense.colors] == [c for c, _ in result.outputs()]
+            assert dense.ok == all(ok for _, ok in result.outputs())
+            assert dense.rounds == result.rounds == 1
+
+
+class TestPhiloxStatisticalValidity:
+    """Counter-based coins: outputs must satisfy the validity predicates."""
+
+    def test_mis_independence_and_maximality(self):
+        for trial in range(3):
+            adj = random_sparse_graph(300, 6, seed=trial)
+            engine = CSREngine(Network(adj))
+            for seed in range(8):
+                dense = luby_mis_dense(engine, seed=seed, coins="philox")
+                assert dense.completed
+                assert is_mis(adj, {int(i) for i in dense.in_mis.nonzero()[0]})
+
+    def test_sinklessness_on_min_degree_3(self):
+        for trial in range(3):
+            adj = configuration_model_regular(120, 3, seed=trial)
+            engine = CSREngine(Network(adj))
+            for seed in range(6):
+                dense = sinkless_trial_dense(engine, min_degree=3, seed=seed, coins="philox")
+                orientation = dense_orientation(engine, dense.out)
+                assert is_sinkless(adj, orientation, min_degree=3)
+                assert dense.rounds >= 2
+
+    def test_splitting_discrepancy_over_50_seeds(self):
+        adj = random_sparse_graph(300, 48.0, seed=7)
+        spec = UniformSplittingSpec(eps=0.25, min_constrained_degree=24)
+        engine = CSREngine(Network(adj))
+        n = len(adj)
+        red_fractions = []
+        for seed in range(50):
+            partition = uniform_splitting(
+                adj, spec, method="dense", seed=seed, coins="philox", engine=engine
+            )
+            assert not uniform_splitting_violations(adj, partition, spec)
+            red_fractions.append(partition.count(0) / n)
+        # Global red mass concentrates around 1/2 across accepted runs.
+        mean = sum(red_fractions) / len(red_fractions)
+        assert abs(mean - 0.5) < 0.05
+        assert min(red_fractions) > 0.35 and max(red_fractions) < 0.65
+
+    def test_philox_luby_rounds_logarithmic(self):
+        # O(log n) w.h.p.: generous cap, but it must not blow up.
+        adj = random_sparse_graph(2000, 10, seed=1)
+        engine = CSREngine(Network(adj))
+        dense = luby_mis_dense(engine, seed=0, coins="philox")
+        assert dense.completed and dense.rounds <= 40
+
+
+class TestDenseArraysOnEngine:
+    def test_cached_and_consistent_with_python_lists(self):
+        adj = [[1, 1, 2], [0, 0, 2], [0, 1]]
+        engine = CSREngine(Network(adj))
+        offsets, dst_node, dst_port = engine.dense_arrays()
+        assert engine.dense_arrays()[0] is offsets  # cached
+        assert list(offsets) == engine.offsets
+        assert list(dst_node) == engine.dst_node
+        assert list(dst_port) == engine.dst_port
+        assert offsets.dtype == dst_node.dtype == dst_port.dtype == np.int64
+
+    def test_lazy_exports_resolve(self):
+        import repro.local as local
+
+        assert local.luby_mis_dense is luby_mis_dense
+        with pytest.raises(AttributeError):
+            local.not_a_kernel
