@@ -16,6 +16,8 @@ Usage::
     python benchmarks/run_experiments.py --quick          # CI smoke sizes
     python benchmarks/run_experiments.py --seeds 8 --workers 4
     python benchmarks/run_experiments.py --out BENCH_ci.json
+    python benchmarks/run_experiments.py --scenarios all  # + resilience cells
+    python benchmarks/run_experiments.py --scenarios luby/crash,sinkless/crash
     python benchmarks/run_experiments.py --legacy-tables  # old E1-E16 scrape
 
 ``--legacy-tables`` reproduces the historical behaviour: run the full
@@ -40,6 +42,7 @@ from repro.exp import ExperimentSpec, run_sweep  # noqa: E402
 from repro.exp.workloads import (  # noqa: E402
     engine_throughput_workload,
     luby_mis_workload,
+    scenario_workload,
     sinkless_workload,
     splitting_workload,
 )
@@ -98,6 +101,38 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense")):
     return specs
 
 
+def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends):
+    """Scenario cells for the ``--scenarios`` axis (resilience metrics).
+
+    ``names`` is ``"all"`` or a comma-separated list of registry names from
+    :mod:`repro.scenarios`; one cell per (scenario, supported backend in
+    ``backends``).  Each trial seed drives both the algorithm coins and the
+    deterministic fault schedule.
+    """
+    from repro.scenarios import get_scenario, scenario_names
+
+    selected = scenario_names() if names == "all" else [
+        s.strip() for s in names.split(",") if s.strip()
+    ]
+    seeds = tuple(range(num_seeds))
+    n = 400 if quick else 1_500
+    specs = []
+    for name in selected:
+        sc = get_scenario(name)  # fails fast on typos, before the sweep
+        for backend in backends:
+            if backend not in sc.backends:
+                continue
+            specs.append(
+                ExperimentSpec(
+                    f"scenario/{name}@{backend}",
+                    scenario_workload,
+                    {"scenario": name, "n": n, "backend": backend},
+                    seeds=seeds,
+                )
+            )
+    return specs
+
+
 def _print_summary(sweep) -> None:
     summary = sweep.summary()
     if not summary:
@@ -109,7 +144,8 @@ def _print_summary(sweep) -> None:
         entry = summary[name]
         metrics = entry["metrics"]
         parts = []
-        for key in ("rounds", "speedup", "dense_speedup", "mis_size", "violations", "solve_seconds"):
+        for key in ("rounds", "speedup", "dense_speedup", "mis_size", "violations",
+                    "survivors", "rounds_to_recover", "solve_seconds"):
             if key in metrics:
                 value = metrics[key]["mean"]
                 parts.append(f"{key}={value:.3g}")
@@ -143,6 +179,8 @@ def _write_report(sweep, path: Path) -> None:
 def run_sweeps(args) -> int:
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     specs = build_specs(args.quick, args.seeds, backends=backends)
+    if args.scenarios is not None:
+        specs += build_scenario_specs(args.quick, args.seeds, args.scenarios, backends)
     out = Path(
         args.out
         if args.out
@@ -247,6 +285,11 @@ def main() -> int:
     parser.add_argument("--backends", default="engine,dense",
                         help="comma-separated execution backends for the "
                         "algorithm workloads (reference,engine,dense)")
+    parser.add_argument("--scenarios", nargs="?", const="all", default=None,
+                        metavar="NAMES",
+                        help="also sweep fault/adversary scenarios: 'all' or "
+                        "comma-separated registry names from repro.scenarios "
+                        "(resilience metrics land in the BENCH json)")
     parser.add_argument("--out", default=None, help="JSON output path "
                         "(default BENCH_<date>.json)")
     parser.add_argument("--report", default=None, help="also write a markdown summary")

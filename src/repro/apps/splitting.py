@@ -200,6 +200,8 @@ def uniform_splitting(
     max_attempts: int = 64,
     coins="philox",
     engine: Optional[CSREngine] = None,
+    hooks=None,
+    faults=None,
 ) -> List[int]:
     """Split a general graph's nodes red/blue per the Section 4.1 spec.
 
@@ -218,6 +220,11 @@ def uniform_splitting(
     bit-identical to ``method="local"`` for the same seed.  A prebuilt
     ``engine`` over the same adjacency amortizes CSR packing across calls
     (used by the ``local`` and ``dense`` methods only).
+
+    ``hooks`` (``local`` method) / ``faults`` (``dense`` method) run the
+    Las-Vegas loop in a faulty environment (see :mod:`repro.scenarios`):
+    acceptance is then based on what the nodes *heard*, which a lossy
+    network can fool — the scenario contracts recompute ground truth.
     """
     n = len(adjacency)
 
@@ -233,19 +240,24 @@ def uniform_splitting(
             run_seed = rng.randrange(2**31)
             if method == "dense":
                 dense = uniform_splitting_dense(
-                    engine, spec, seed=run_seed, coins=coins, red=RED, blue=BLUE
+                    engine, spec, seed=run_seed, coins=coins, red=RED, blue=BLUE,
+                    faults=faults,
                 )
                 if ledger is not None:
                     ledger.charge_simulated(dense.rounds, "0-round-splitting+check")
                 if dense.ok:
                     return [int(c) for c in dense.colors]
                 continue
-            result = engine.run(algorithm, max_rounds=1, seed=run_seed)
+            result = engine.run(algorithm, max_rounds=1, seed=run_seed, hooks=hooks)
             if ledger is not None:
                 ledger.charge_simulated(result.rounds, "0-round-splitting+check")
-            outputs = result.outputs()
-            if all(ok for _, ok in outputs):
-                return [color for color, _ in outputs]
+            # Crashed nodes (faulty environments) never output; they do not
+            # vote and their init-time color stands in for them.
+            if all(v.output[1] for v in result.views if v.output is not None):
+                return [
+                    v.output[0] if v.output is not None else v.state["color"]
+                    for v in result.views
+                ]
         raise RuntimeError(
             f"{method} uniform splitting failed {max_attempts} times; "
             "constrained degrees are below the w.h.p. regime"

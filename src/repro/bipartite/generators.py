@@ -274,7 +274,12 @@ def configuration_model_regular(n: int, d: int, seed: SeedLike = None) -> List[L
     instances the engine benchmarks and sweeps use.
     """
     require(n * d % 2 == 0, f"n*d must be even, got n={n}, d={d}")
-    require(0 <= d < n, f"need 0 <= d < n, got d={d}, n={n}")
+    require(
+        0 <= d < n or (n == 0 and d == 0),
+        f"need 0 <= d < n, got d={d}, n={n}",
+    )
+    if n == 0:
+        return []
     rng = ensure_rng(seed)
     for _ in range(100):
         edges: Set[Tuple[int, int]] = set()

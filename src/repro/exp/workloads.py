@@ -51,6 +51,7 @@ __all__ = [
     "sinkless_workload",
     "splitting_workload",
     "engine_throughput_workload",
+    "scenario_workload",
 ]
 
 TOPOLOGIES = ("sparse", "regular", "torus", "grid", "powerlaw")
@@ -225,6 +226,32 @@ def splitting_workload(
         "solve_seconds": solve,
         "setup_seconds": setup,
     }
+
+
+def scenario_workload(
+    seed: int,
+    scenario: str = "luby/crash",
+    n: int = 600,
+    degree: int = None,
+    backend: str = "engine",
+    graph_seed: int = 5,
+) -> Dict[str, Any]:
+    """One registered fault/adversary scenario trial (see
+    :mod:`repro.scenarios`): the ``scenario=`` axis of a sweep.
+
+    The trial seed drives both the algorithm's coins and the deterministic
+    fault schedule; the returned metrics are the scenario runner's
+    resilience channels (``violations``, ``survivors``,
+    ``rounds_to_recover``, ...) which land in the BENCH json next to the
+    throughput numbers.  Scenario graphs are rewritten per scenario
+    (relabelings, multi-edge lifts), so these cells build their own
+    networks instead of sharing :func:`scenario_engine`'s cache.
+    """
+    from repro.scenarios import run_scenario
+
+    return run_scenario(
+        scenario, n=n, degree=degree, seed=seed, graph_seed=graph_seed, backend=backend
+    )
 
 
 def engine_throughput_workload(

@@ -20,6 +20,7 @@ from repro.local.network import (
     LocalAlgorithm,
     Network,
     NodeView,
+    RoundHooks,
     SimulationResult,
     build_reverse_ports,
     run_local,
@@ -29,6 +30,7 @@ __all__ = [
     "LocalAlgorithm",
     "Network",
     "NodeView",
+    "RoundHooks",
     "SimulationResult",
     "run_local",
     "run_local_fast",

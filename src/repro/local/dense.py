@@ -131,6 +131,9 @@ def luby_round_dense(
     offsets: np.ndarray,
     dst_node: np.ndarray,
     owner: np.ndarray,
+    active2: "np.ndarray" = None,
+    heard1: "np.ndarray" = None,
+    heard2: "np.ndarray" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One Luby phase (priority exchange + announcement) as array ops.
 
@@ -141,14 +144,34 @@ def luby_round_dense(
     engine's tuple compare ``(r, uid)`` — ties on ``r`` (possible across
     independent replay streams) break on uid, exactly like
     :class:`~repro.mis.luby.LubyMIS`, so there is no float-tie hazard.
+
+    The optional fault arguments mirror the hooked engine's semantics on a
+    faulty environment (all default to the clean-run behaviour):
+
+    * ``heard1`` — per-slot delivery mask for the priority round: a dropped
+      priority does not suppress the receiver's join;
+    * ``active2`` — frontier at the announcement round (nodes crashing
+      between the two rounds decided to join but never announce — and never
+      enter the MIS);
+    * ``heard2`` — per-slot delivery mask for the announcement round: a
+      dropped join announcement does not kill the receiver.
     """
     # Slot k: does the (active) neighbor at this slot beat the slot's owner?
     nbr = dst_node
     nbr_better = active[nbr] & (
         (r[nbr] > r[owner]) | ((r[nbr] == r[owner]) & (uid[nbr] > uid[owner]))
     )
+    if heard1 is not None:
+        nbr_better &= heard1
     joining = active & ~_segment_or(nbr_better, offsets)
-    killed = active & ~joining & _segment_or(joining[nbr], offsets)
+    if active2 is None:
+        active2 = active
+    else:
+        joining = joining & active2
+    announced = joining[nbr]
+    if heard2 is not None:
+        announced = announced & heard2
+    killed = active2 & ~joining & _segment_or(announced, offsets)
     return joining, killed
 
 
@@ -157,6 +180,7 @@ def luby_mis_dense(
     seed: int = 0,
     coins="philox",
     max_rounds: int = 10_000,
+    faults=None,
 ) -> DenseResult:
     """Luby's MIS as dense phases; same semantics as running
     :class:`~repro.mis.luby.LubyMIS` on the engine.
@@ -167,7 +191,16 @@ def luby_mis_dense(
     returned ``in_mis`` mask and round count are bit-identical to the
     engine's outputs for the same seed.
 
-    Returns a :class:`DenseResult` with ``in_mis`` (bool array of length n).
+    ``faults`` (a :class:`~repro.scenarios.masks.DenseFaults`, or any object
+    with ``crashed_at``/``delivered_in``) is the masked-array equivalent of
+    running the engine with scenario hooks: crashed nodes leave the frontier
+    before drawing (and never join), dropped priority/announcement messages
+    are excluded from the neighborhood reductions.  With ``coins="replay"``
+    a faulty dense run is bit-identical to the engine under the same
+    perturbation stack.
+
+    Returns a :class:`DenseResult` with ``in_mis`` (bool array of length n)
+    and ``crashed`` (bool array; all-False on a clean run).
     """
     require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
     offsets, dst_node, _ = engine.dense_arrays()
@@ -178,6 +211,7 @@ def luby_mis_dense(
 
     in_mis = degrees == 0  # isolated nodes join immediately (init)
     active = ~in_mis
+    crashed = np.zeros(n, dtype=bool)
     owner = _slot_owner(offsets)
     r = np.zeros(n, dtype=np.float64)
 
@@ -185,6 +219,12 @@ def luby_mis_dense(
     while active.any():
         if rounds + 1 > max_rounds:
             break
+        round1 = rounds + 1
+        if faults is not None:
+            crash = faults.crashed_at(round1)
+            if crash is not None:
+                crashed |= active & crash
+                active = active & ~crash
         # Odd round: active nodes draw priorities (index order, like the
         # engine's broadcast sweep — per-node replay streams make the
         # cross-node order immaterial, the per-node draw count exact).
@@ -193,11 +233,25 @@ def luby_mis_dense(
         rounds += 1
         if rounds + 1 > max_rounds:
             break  # engine would stop after the odd round, mid-phase
-        joining, killed = luby_round_dense(active, r, uid, offsets, dst_node, owner)
+        active2 = heard1 = heard2 = None
+        if faults is not None:
+            round2 = rounds + 1
+            crash = faults.crashed_at(round2)
+            if crash is not None:
+                crashed |= active & crash
+                active2 = active & ~crash
+            heard1 = faults.delivered_in(round1)
+            heard2 = faults.delivered_in(round2)
+        joining, killed = luby_round_dense(
+            active, r, uid, offsets, dst_node, owner,
+            active2=active2, heard1=heard1, heard2=heard2,
+        )
         in_mis |= joining
-        active &= ~(joining | killed)
+        active = (active if active2 is None else active2) & ~(joining | killed)
         rounds += 1
-    return DenseResult(rounds, completed=not active.any(), in_mis=in_mis)
+    return DenseResult(
+        rounds, completed=not active.any(), in_mis=in_mis, crashed=crashed
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -211,6 +265,8 @@ def sinkless_trial_dense(
     seed: int = 0,
     coins="philox",
     max_rounds: int = 200,
+    faults=None,
+    strict: bool = True,
 ) -> DenseResult:
     """Trial-and-fix sinkless orientation as dense rounds.
 
@@ -230,9 +286,19 @@ def sinkless_trial_dense(
     Requires a simple graph (no multi-edges or self-loops): the probe's
     orientation dict collapses parallel edges, which has no faithful slot
     representation.  Returns a :class:`DenseResult` with ``out`` (bool per
-    CSR slot, True = outward in the owner's own view).  Raises
-    ``RuntimeError`` if no sink-free round occurs within ``max_rounds``,
-    matching the driver.
+    CSR slot, True = outward in the owner's own view) and ``crashed`` (bool
+    per node).  Raises ``RuntimeError`` if no sink-free round occurs within
+    ``max_rounds``, matching the driver; ``strict=False`` instead returns
+    an incomplete result (the scenario runner's mode — under faults,
+    non-recovery is data).
+
+    ``faults`` (a :class:`~repro.scenarios.masks.DenseFaults`) mirrors the
+    hooked engine from round 2 on: crashed nodes freeze their slot state
+    (they neither flip nor process flips) and leave the sink probe; dropped
+    flip announcements leave the receiving side outward, exactly like the
+    reference's receive phase.  Round-1 faults are not supported here —
+    scenario schedules for sinkless orientation leave the proposal round
+    clean.
     """
     require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
     offsets, dst_node, dst_port = engine.dense_arrays()
@@ -261,10 +327,16 @@ def sinkless_trial_dense(
 
     constrained = degrees >= min_degree
     low_view = owner < dst_node  # extraction rule: lower *index* endpoint's view
+    crashed = np.zeros(n, dtype=bool)
 
     for round_no in range(2, max_rounds + 1):
-        # Send phase: sinks by their own view flip one uniformly random port.
-        sinks_own = constrained & ~_segment_or(out, offsets)
+        if faults is not None:
+            crash = faults.crashed_at(round_no)
+            if crash is not None:
+                crashed |= crash
+        # Send phase: sinks by their own view flip one uniformly random port
+        # (crashed nodes are frozen: no draws, no flips).
+        sinks_own = constrained & ~crashed & ~_segment_or(out, offsets)
         sink_idx = np.flatnonzero(sinks_own)
         if sink_idx.shape[0]:
             ports = table.randints(sink_idx, degrees[sink_idx])
@@ -272,15 +344,26 @@ def sinkless_trial_dense(
             out[chosen] = True
             # Receive phase: the paired port is marked inward.  A doubly
             # flipped edge has each chosen slot as the other's partner, so
-            # both end False — exactly the reference outcome.
-            out[partner[chosen]] = False
+            # both end False — exactly the reference outcome.  Under faults
+            # the flip announcement must actually arrive: dropped messages
+            # and crashed receivers leave the paired slot untouched.
+            if faults is None:
+                out[partner[chosen]] = False
+            else:
+                keep = ~crashed[dst_node[chosen]]
+                delivered = faults.delivered_out(round_no)
+                if delivered is not None:
+                    keep &= delivered[chosen]
+                out[partner[chosen[keep]]] = False
         rounds = round_no
         # Probe: extract the orientation (lower-index endpoint's slot is
-        # authoritative) and stop at the first globally sink-free round.
+        # authoritative) and stop at the first round with no live sink.
         effective_out = np.where(low_view, out, ~out[partner])
-        if not (constrained & ~_segment_or(effective_out, offsets)).any():
-            return DenseResult(rounds, completed=True, out=out)
-    raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
+        if not (constrained & ~crashed & ~_segment_or(effective_out, offsets)).any():
+            return DenseResult(rounds, completed=True, out=out, crashed=crashed)
+    if strict:
+        raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
+    return DenseResult(rounds, completed=False, out=out, crashed=crashed)
 
 
 def dense_orientation(
@@ -311,6 +394,7 @@ def uniform_splitting_dense(
     coins="philox",
     red: int = 0,
     blue: int = 1,
+    faults=None,
 ) -> DenseResult:
     """One attempt of the 0-round splitting + 1-round verification, dense.
 
@@ -321,9 +405,18 @@ def uniform_splitting_dense(
     constrained degrees.  The Las-Vegas retry loop lives in
     :func:`repro.apps.splitting.uniform_splitting` (``method="dense"``).
 
-    Returns a :class:`DenseResult` with ``colors`` (int array) and ``ok``
-    (bool: every constrained node inside ``[lo, hi]``); ``rounds`` is 1,
-    the verification round, matching the engine's charge.
+    ``faults`` (a :class:`~repro.scenarios.masks.DenseFaults`) mirrors the
+    hooked engine on the single round: every node still draws its color in
+    ``init`` (crashes land *after* init, so the replay draw count is
+    unchanged), but crashed nodes neither broadcast nor verify, and dropped
+    color messages are excluded from the red-neighbor counts — ``ok`` is
+    then the surviving nodes' own (possibly fault-blinded) verdict, exactly
+    what the distributed Las-Vegas loop would act on.
+
+    Returns a :class:`DenseResult` with ``colors`` (int array), ``ok``
+    (bool: every live constrained node inside ``[lo, hi]``) and ``crashed``
+    (bool array); ``rounds`` is 1, the verification round, matching the
+    engine's charge.
     """
     offsets, dst_node, _ = engine.dense_arrays()
     n = engine.n
@@ -332,11 +425,21 @@ def uniform_splitting_dense(
 
     u = table.uniforms(np.arange(n, dtype=np.int64))
     colors = np.where(u < 0.5, red, blue)
-    red_nbrs = _segment_sum((colors[dst_node] == red).astype(np.int64), offsets)
+    crashed = np.zeros(n, dtype=bool)
+    sent = (colors[dst_node] == red).astype(np.int64)
+    if faults is not None:
+        crash = faults.crashed_at(1)
+        if crash is not None:
+            crashed |= crash
+            sent &= ~crashed[dst_node]
+        heard = faults.delivered_in(1)
+        if heard is not None:
+            sent &= heard
+    red_nbrs = _segment_sum(sent, offsets)
     # spec.lo / spec.hi / spec.constrains are affine in the degree, so they
     # vectorize directly over the degree array.
-    constrained = spec.constrains(degrees)
+    constrained = spec.constrains(degrees) & ~crashed
     ok = bool(
         (~constrained | ((red_nbrs >= spec.lo(degrees)) & (red_nbrs <= spec.hi(degrees)))).all()
     )
-    return DenseResult(1, completed=True, colors=colors, ok=ok)
+    return DenseResult(1, completed=True, colors=colors, ok=ok, crashed=crashed)

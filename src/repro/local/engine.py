@@ -52,6 +52,7 @@ from repro.local.network import (
     LocalAlgorithm,
     Network,
     NodeView,
+    RoundHooks,
     SimulationResult,
     build_reverse_ports,
 )
@@ -129,12 +130,23 @@ class CSREngine:
         max_rounds: int = 10_000,
         seed: int = 0,
         probe: Optional[Probe] = None,
+        hooks: Optional[RoundHooks] = None,
     ) -> SimulationResult:
         """Execute ``algorithm``; same contract as :func:`run_local`.
 
         ``probe``, if given, is called after each completed round with
         ``(round_no, views)``; returning True stops the simulation (the
         result's ``completed`` flag still reports whether all nodes halted).
+
+        ``hooks`` (a :class:`~repro.local.network.RoundHooks`) injects
+        environment faults at the same call points as the reference:
+        ``before_round`` right after the frontier check (crashed nodes drop
+        out of the active set before sending), ``deliver`` once per
+        outgoing message, ``after_round`` after the receive phase.  With
+        ``hooks=None`` the original tight loops run unchanged; hooked runs
+        stay bit-identical to :func:`run_local` with the same hooks because
+        ``deliver`` is required to be a pure function of
+        ``(round_no, sender, port)``.
         """
         require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
         network = self.network
@@ -170,34 +182,73 @@ class CSREngine:
         for round_no in range(1, max_rounds + 1):
             if not active:
                 break
+            if hooks is not None:
+                # Crashes injected here drop out of the frontier before the
+                # send phase — the reference skips them via ``view.halted``.
+                hooks.before_round(round_no, views)
+                active = [iv for iv in active if not iv[1].halted]
             # Send phase.  Inbox insertion order (sender index, then port)
             # matches run_local, so iteration over inbox items is identical.
             touched: List[int] = []
             touch = touched.append
-            for i, view in active:
-                slots = out_slots[i]
-                msg = broadcast(view, round_no)
-                if msg is not NO_BROADCAST:
-                    for j, q in slots:
-                        box = boxes[j]
-                        if box is None:
-                            box = boxes[j] = {}
-                            touch(j)
-                        box[q] = msg
-                else:
-                    outgoing = send(view, round_no)
-                    degree = len(slots)
-                    for port, message in outgoing.items():
-                        require(
-                            0 <= port < degree,
-                            f"node {i} sent on invalid port {port}",
-                        )
-                        j, q = slots[port]
-                        box = boxes[j]
-                        if box is None:
-                            box = boxes[j] = {}
-                            touch(j)
-                        box[q] = message
+            if hooks is None:
+                for i, view in active:
+                    slots = out_slots[i]
+                    msg = broadcast(view, round_no)
+                    if msg is not NO_BROADCAST:
+                        for j, q in slots:
+                            box = boxes[j]
+                            if box is None:
+                                box = boxes[j] = {}
+                                touch(j)
+                            box[q] = msg
+                    else:
+                        outgoing = send(view, round_no)
+                        degree = len(slots)
+                        for port, message in outgoing.items():
+                            require(
+                                0 <= port < degree,
+                                f"node {i} sent on invalid port {port}",
+                            )
+                            j, q = slots[port]
+                            box = boxes[j]
+                            if box is None:
+                                box = boxes[j] = {}
+                                touch(j)
+                            box[q] = message
+            else:
+                # Hook-aware twin of the loop above: one ``deliver`` consult
+                # per outgoing message, after port validation — exactly the
+                # reference's call points, so drops match message-for-message.
+                deliver = hooks.deliver
+                for i, view in active:
+                    slots = out_slots[i]
+                    msg = broadcast(view, round_no)
+                    if msg is not NO_BROADCAST:
+                        for port, (j, q) in enumerate(slots):
+                            if not deliver(round_no, i, port):
+                                continue
+                            box = boxes[j]
+                            if box is None:
+                                box = boxes[j] = {}
+                                touch(j)
+                            box[q] = msg
+                    else:
+                        outgoing = send(view, round_no)
+                        degree = len(slots)
+                        for port, message in outgoing.items():
+                            require(
+                                0 <= port < degree,
+                                f"node {i} sent on invalid port {port}",
+                            )
+                            if not deliver(round_no, i, port):
+                                continue
+                            j, q = slots[port]
+                            box = boxes[j]
+                            if box is None:
+                                box = boxes[j] = {}
+                                touch(j)
+                            box[q] = message
             # Receive phase (index order, skipping nodes halted mid-send).
             for i, view in active:
                 if view.halted:
@@ -207,6 +258,8 @@ class CSREngine:
             for j in touched:
                 boxes[j] = None
             rounds = round_no
+            if hooks is not None:
+                hooks.after_round(round_no, views)
             active = [iv for iv in active if not iv[1].halted]
             if not active:
                 break
@@ -221,10 +274,13 @@ def run_local_fast(
     max_rounds: int = 10_000,
     seed: int = 0,
     probe: Optional[Probe] = None,
+    hooks: Optional[RoundHooks] = None,
 ) -> SimulationResult:
     """Drop-in replacement for :func:`run_local` using :class:`CSREngine`.
 
     Packs the network on every call; reuse a :class:`CSREngine` directly
     when running the same network repeatedly.
     """
-    return CSREngine(network).run(algorithm, max_rounds=max_rounds, seed=seed, probe=probe)
+    return CSREngine(network).run(
+        algorithm, max_rounds=max_rounds, seed=seed, probe=probe, hooks=hooks
+    )

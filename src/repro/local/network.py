@@ -36,6 +36,7 @@ __all__ = [
     "Network",
     "NodeView",
     "LocalAlgorithm",
+    "RoundHooks",
     "run_local",
     "SimulationResult",
     "NO_BROADCAST",
@@ -172,6 +173,47 @@ class LocalAlgorithm(ABC):
         return NO_BROADCAST
 
 
+class RoundHooks:
+    """Harness-side round instrumentation shared by both executors.
+
+    Hooks model the *environment* rather than the algorithm: node crashes,
+    lossy links, dynamic edges, adversarial schedules.  The nodes never see
+    the hook object — they only observe its effects (missing messages,
+    silent neighbors), exactly as in the faulty-LOCAL literature.
+
+    Call points (identical in :func:`run_local` and
+    :class:`~repro.local.engine.CSREngine`, so hooked runs stay
+    bit-identical across executors):
+
+    * :meth:`before_round` — after the all-halted check, before the send
+      phase.  May crash nodes by setting ``view.halted`` (by convention a
+      crash also sets ``view.state["crashed"] = True`` so contracts can
+      tell a crash from a normal termination).
+    * :meth:`deliver` — once per outgoing message, after port validation.
+      Returning False silently drops the message.  **Must be a pure
+      function of ``(round_no, sender, port)``** — both executors consult
+      it while sweeping senders, but the engine's broadcast fast path and
+      the reference's dict loop enumerate messages in different orders, so
+      any internal state consumption would break the bit-identity
+      guarantee.
+    * :meth:`after_round` — after the receive phase of every executed
+      round (observation only, e.g. per-round violation tracking).
+
+    The default implementation is a no-op; ``hooks=None`` skips all calls
+    on the original fast paths.
+    """
+
+    def before_round(self, round_no: int, views: List["NodeView"]) -> None:
+        """Inject faults for ``round_no`` (crash nodes via ``view.halted``)."""
+
+    def deliver(self, round_no: int, sender: int, port: int) -> bool:
+        """Whether the message ``sender`` emits on ``port`` arrives."""
+        return True
+
+    def after_round(self, round_no: int, views: List["NodeView"]) -> None:
+        """Observe the state after ``round_no``'s receive phase."""
+
+
 @dataclass
 class SimulationResult:
     """Outcome of a simulation run."""
@@ -214,6 +256,7 @@ def run_local(
     algorithm: LocalAlgorithm,
     max_rounds: int = 10_000,
     seed: int = 0,
+    hooks: Optional[RoundHooks] = None,
 ) -> SimulationResult:
     """Execute ``algorithm`` on ``network`` synchronously.
 
@@ -221,6 +264,12 @@ def run_local(
     and ``b`` lists ``a`` at port ``q``, a message sent by ``a`` on port ``p``
     in round ``t`` arrives in ``b``'s inbox under port ``q`` in the same
     round's receive phase (standard synchronous semantics).
+
+    ``hooks`` (a :class:`RoundHooks`) injects environment faults — crashes
+    in ``before_round``, message loss via ``deliver`` — at the same call
+    points the batched engine uses, so hooked runs remain bit-identical
+    between the two executors (the scenario subsystem in
+    :mod:`repro.scenarios` is built on this).
 
     This is the *reference* implementation: simple, dict-based, audited
     against the model definition.  :func:`repro.local.engine.run_local_fast`
@@ -247,6 +296,8 @@ def run_local(
     for round_no in range(1, max_rounds + 1):
         if all(v.halted for v in views):
             break
+        if hooks is not None:
+            hooks.before_round(round_no, views)
         inboxes: List[Dict[int, Any]] = [{} for _ in range(n)]
         for i in range(n):
             if views[i].halted:
@@ -261,6 +312,8 @@ def run_local(
                     0 <= port < network.degree(i),
                     f"node {i} sent on invalid port {port}",
                 )
+                if hooks is not None and not hooks.deliver(round_no, i, port):
+                    continue
                 j = network.adjacency[i][port]
                 inboxes[j][reverse_port[i][port]] = message
         for i in range(n):
@@ -268,6 +321,8 @@ def run_local(
                 continue
             algorithm.receive(views[i], round_no, inboxes[i])
         rounds = round_no
+        if hooks is not None:
+            hooks.after_round(round_no, views)
         if all(v.halted for v in views):
             break
     return SimulationResult(rounds=rounds, views=views, completed=all(v.halted for v in views))

@@ -88,6 +88,8 @@ def luby_mis(
     method: str = "engine",
     coins="philox",
     engine=None,
+    hooks=None,
+    faults=None,
 ) -> Tuple[Set[int], int]:
     """Run Luby's MIS; returns (MIS node set, simulated rounds).
 
@@ -100,6 +102,11 @@ def luby_mis(
     distribution-identical and O(1)-setup — the mode for n >= 10^5.  Pass a
     prebuilt ``engine`` (:class:`~repro.local.engine.CSREngine` over the
     same adjacency) to amortize CSR packing across calls.
+
+    A faulty environment (see :mod:`repro.scenarios`) plugs in through
+    ``hooks`` (a :class:`~repro.local.network.RoundHooks`, engine method)
+    or ``faults`` (a :class:`~repro.scenarios.masks.DenseFaults`, dense
+    method); under crash faults the MIS of the survivors is returned.
     """
     require(method in ("engine", "dense"), f"unknown method {method!r}")
     if method == "dense":
@@ -107,16 +114,20 @@ def luby_mis(
 
         if engine is None:
             engine = CSREngine(Network(adjacency))
-        result = luby_mis_dense(engine, seed=seed, coins=coins, max_rounds=max_rounds)
+        result = luby_mis_dense(
+            engine, seed=seed, coins=coins, max_rounds=max_rounds, faults=faults
+        )
         require(result.completed, "Luby MIS did not terminate within the round cap")
         mis = {int(i) for i in result.in_mis.nonzero()[0]}
         if ledger is not None:
             ledger.charge_simulated(result.rounds, label)
         return mis, result.rounds
     if engine is not None:
-        result = engine.run(LubyMIS(), max_rounds=max_rounds, seed=seed)
+        result = engine.run(LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks)
     else:
-        result = run_local_fast(Network(adjacency), LubyMIS(), max_rounds=max_rounds, seed=seed)
+        result = run_local_fast(
+            Network(adjacency), LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks
+        )
     require(result.completed, "Luby MIS did not terminate within the round cap")
     mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
     if ledger is not None:

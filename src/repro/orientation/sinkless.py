@@ -167,7 +167,16 @@ class TrialAndFixSinkless(LocalAlgorithm):
         if round_no == 1:
             for p in range(view.degree):
                 mine = view.state["proposal"][p]
-                kind, theirs, their_uid = inbox[p]
+                msg = inbox.get(p)
+                if msg is None:
+                    # Faulty environment (scenario hooks): the neighbor's
+                    # proposal was lost or the neighbor crashed.  Fall back
+                    # to our own coin for our side of the edge; a resulting
+                    # disagreement is resolved at extraction time (the lower
+                    # endpoint's view is authoritative).
+                    view.state["out"][p] = mine
+                    continue
+                kind, theirs, their_uid = msg
                 # Deterministic symmetric tie-break: higher uid's coin wins.
                 winner = mine if view.uid > their_uid else theirs
                 # The winner's coin True = "winner's side points outward".
@@ -193,6 +202,8 @@ def run_trial_and_fix(
     method: str = "engine",
     coins="philox",
     engine=None,
+    hooks=None,
+    faults=None,
 ) -> Tuple[GraphOrientation, int]:
     """Run :class:`TrialAndFixSinkless` until globally sink-free.
 
@@ -210,6 +221,11 @@ def run_trial_and_fix(
     distribution-identical with the default O(1)-setup ``coins="philox"``.
     Pass a prebuilt ``engine`` over the same adjacency to amortize CSR
     packing across calls.  Returns the orientation and the round count.
+
+    ``hooks`` (engine method) / ``faults`` (dense method) inject a faulty
+    environment, see :mod:`repro.scenarios` — note the default probe here
+    still demands a globally sink-free configuration; the scenario runner
+    uses its own survivor-aware stopping rule under crash faults.
     """
     require(method in ("engine", "dense"), f"unknown method {method!r}")
     if method == "dense":
@@ -218,7 +234,8 @@ def run_trial_and_fix(
         if engine is None:
             engine = CSREngine(Network(adj))
         dense = sinkless_trial_dense(
-            engine, min_degree=min_degree, seed=seed, coins=coins, max_rounds=max_rounds
+            engine, min_degree=min_degree, seed=seed, coins=coins,
+            max_rounds=max_rounds, faults=faults,
         )
         return dense_orientation(engine, dense.out), dense.rounds
 
@@ -233,7 +250,7 @@ def run_trial_and_fix(
 
     if engine is None:
         engine = CSREngine(net)
-    result = engine.run(algo, max_rounds=max_rounds, seed=seed, probe=probe)
+    result = engine.run(algo, max_rounds=max_rounds, seed=seed, probe=probe, hooks=hooks)
     orientation = _views_to_orientation(adj, result)
     if result.rounds >= 2 and not sinks(adj, orientation, min_degree):
         return orientation, result.rounds

@@ -1,0 +1,88 @@
+"""Scenario subsystem: fault injection, dynamic graphs, adversarial schedules.
+
+The paper's algorithms are analyzed on clean static graphs; this package
+turns *unclean* conditions into a first-class experimental axis.  A
+:class:`Scenario` is a declarative triple — graph family x perturbation
+schedule x validity contract — executed by :func:`run_scenario` on any of
+the three backends (reference simulator, batched CSR engine, dense numpy
+kernels) with **deterministic** fault schedules: every fault decision is a
+pure function of the trial seed, so faulty runs are reproducible and
+bit-identical between the reference and the engine (and, with replayed
+coins, the dense kernels).
+
+Vocabulary:
+
+* faults — :class:`CrashNodes`, :class:`IIDMessageDrop`, :class:`MuteHubs`;
+* dynamic graphs — :class:`EdgeChurn`, :class:`LateEdges`,
+  :class:`DropEdges` (supergraph + per-round delivery masking);
+* adversarial presentations — :class:`AdversarialIDs`,
+  :class:`PortScramble`, :class:`MultiEdgeLift`.
+
+Registered scenarios (``scenario_names()``) are runnable by name from the
+sweep CLI: ``python benchmarks/run_experiments.py --scenarios all``.
+"""
+
+from repro.scenarios.adversary import AdversarialIDs, MultiEdgeLift, PortScramble
+from repro.scenarios.base import (
+    BoundPerturbation,
+    Perturbation,
+    PerturbationHooks,
+    bind_all,
+    fault_u01,
+    quiet_after,
+    rewrite_all,
+)
+from repro.scenarios.contracts import (
+    alive_mask,
+    final_edge_ok,
+    mis_violations,
+    orientation_from_views,
+    splitting_violations,
+    surviving_sinks,
+)
+from repro.scenarios.dynamic import DropEdges, EdgeChurn, LateEdges, edge_keys
+from repro.scenarios.faults import CrashNodes, IIDMessageDrop, MuteHubs
+from repro.scenarios.registry import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.run import run_scenario
+
+__all__ = [
+    # protocol
+    "Perturbation",
+    "BoundPerturbation",
+    "PerturbationHooks",
+    "bind_all",
+    "rewrite_all",
+    "quiet_after",
+    "fault_u01",
+    # perturbations
+    "CrashNodes",
+    "IIDMessageDrop",
+    "MuteHubs",
+    "EdgeChurn",
+    "LateEdges",
+    "DropEdges",
+    "edge_keys",
+    "AdversarialIDs",
+    "PortScramble",
+    "MultiEdgeLift",
+    # contracts
+    "alive_mask",
+    "final_edge_ok",
+    "mis_violations",
+    "surviving_sinks",
+    "splitting_violations",
+    "orientation_from_views",
+    # registry + execution
+    "Scenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "run_scenario",
+]

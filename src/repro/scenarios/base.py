@@ -1,0 +1,168 @@
+"""Perturbation protocol: composable faults/adversaries over the simulators.
+
+A :class:`Perturbation` is one declarative ingredient of a scenario — node
+crashes, lossy links, dynamic edges, adversarial renamings.  It acts on a
+run through two channels:
+
+* :meth:`Perturbation.rewrite` — a graph-level transform applied before the
+  :class:`~repro.local.network.Network` is built (ID relabelings, port
+  permutations, multi-edge lifts, supergraphs for insertion streams);
+* :meth:`Perturbation.bind` — a per-run :class:`BoundPerturbation` whose
+  round decisions (``crashes``, ``delivers``) are **pure functions** of the
+  round number and message coordinates.
+
+Purity is the load-bearing property: the reference simulator, the batched
+engine and the dense kernels all consult the same decisions, but in
+different orders (dict sweep vs CSR slot sweep vs vectorized mask build).
+Because every decision is a pure function of ``(fault_seed, round, where)``
+— no internal stream consumption — hooked runs stay *bit-identical* across
+executors, which ``tests/scenarios/test_hook_equivalence.py`` property-
+tests.
+
+Fault coins come from :func:`fault_u01`, built on the same
+:func:`~repro.utils.rng.node_rng` machinery as the nodes' private coins but
+under a disjoint ``"fault/..."`` salt namespace, so fault schedules are
+deterministic per seed yet never correlate with algorithm randomness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.local.network import Network, NodeView, RoundHooks
+from repro.utils.rng import node_rng
+
+__all__ = [
+    "fault_u01",
+    "Perturbation",
+    "BoundPerturbation",
+    "PerturbationHooks",
+    "bind_all",
+    "rewrite_all",
+    "quiet_after",
+]
+
+Adjacency = List[List[int]]
+
+
+def fault_u01(fault_seed: int, label: str, entity, *key) -> float:
+    """One deterministic uniform in ``[0, 1)`` per (seed, label, entity, key).
+
+    A pure function — repeated calls with the same arguments return the same
+    value, so the executors may evaluate fault decisions in any order (or
+    several times) without diverging.  Built on :func:`node_rng` with a
+    ``fault/``-prefixed salt, keeping fault coins independent of the node
+    coin streams ``{seed}/{uid}/`` that the algorithms consume.
+    """
+    salt = "fault/" + label
+    if key:
+        salt += "/" + "/".join(str(k) for k in key)
+    return node_rng(fault_seed, entity, salt=salt).random()
+
+
+class BoundPerturbation:
+    """A perturbation bound to one ``(network, fault_seed)`` pair.
+
+    Subclasses may precompute anything at bind time (victim sets, edge
+    keys), but the per-round methods must remain pure functions of their
+    arguments.  The base class is the identity perturbation.
+    """
+
+    #: Last round whose fault schedule differs from the steady state, or
+    #: ``None`` if the perturbation never settles (e.g. i.i.d. drops with no
+    #: end round).  The scenario runner derives the ``rounds_to_recover``
+    #: resilience metric from the max over the stack.
+    quiet_after: Optional[int] = 0
+
+    #: Capability flags — let the dense adapter skip O(n)/O(m) mask builds
+    #: for rounds (or whole runs) that cannot be affected.
+    crashes_nodes: bool = False
+    drops_messages: bool = False
+
+    def crashes(self, round_no: int) -> Iterable[int]:
+        """Node indices that crash at the start of ``round_no``."""
+        return ()
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        """Whether the message ``sender`` emits on ``port`` arrives."""
+        return True
+
+    def edge_alive_final(self, sender: int, port: int) -> bool:
+        """Whether the edge behind ``(sender, port)`` belongs to the final
+        graph (dynamic-graph perturbations override this so contracts can
+        validate against the post-churn topology)."""
+        return True
+
+
+class Perturbation(ABC):
+    """Declarative fault/adversary ingredient of a :class:`Scenario`."""
+
+    def rewrite(self, adjacency: Adjacency, ids: List[int]) -> Tuple[Adjacency, List[int]]:
+        """Graph-level transform applied before the network is built."""
+        return adjacency, ids
+
+    def bind(self, network: Network, fault_seed: int) -> BoundPerturbation:
+        """Bind the per-round fault schedule to a concrete network."""
+        return BoundPerturbation()
+
+
+def rewrite_all(
+    perturbations: Sequence[Perturbation],
+    adjacency: Adjacency,
+    ids: Optional[List[int]] = None,
+) -> Tuple[Adjacency, List[int]]:
+    """Apply every perturbation's graph transform, in declaration order."""
+    if ids is None:
+        ids = list(range(len(adjacency)))
+    for p in perturbations:
+        adjacency, ids = p.rewrite(adjacency, ids)
+    return adjacency, ids
+
+
+def bind_all(
+    perturbations: Sequence[Perturbation], network: Network, fault_seed: int
+) -> Tuple[BoundPerturbation, ...]:
+    """Bind every perturbation to one ``(network, fault_seed)`` pair."""
+    return tuple(p.bind(network, fault_seed) for p in perturbations)
+
+
+def quiet_after(bound: Sequence[BoundPerturbation]) -> Optional[int]:
+    """Last round at which the stack can still inject, ``None`` if never."""
+    q = 0
+    for b in bound:
+        if b.quiet_after is None:
+            return None
+        q = max(q, b.quiet_after)
+    return q
+
+
+class PerturbationHooks(RoundHooks):
+    """:class:`RoundHooks` adapter over a stack of bound perturbations.
+
+    ``before_round`` crashes scheduled nodes (setting ``view.halted`` and
+    the ``state["crashed"]`` marker contracts key off); ``deliver`` is the
+    conjunction of the stack's pure delivery decisions.  Create a fresh
+    instance per run — the ``crashed`` set is per-run bookkeeping (the
+    decisions themselves are pure, so two instances over the same stack
+    behave identically).
+    """
+
+    def __init__(self, bound: Sequence[BoundPerturbation]):
+        self.bound = tuple(bound)
+        self.crashed: set = set()
+
+    def before_round(self, round_no: int, views: List[NodeView]) -> None:
+        for b in self.bound:
+            for i in b.crashes(round_no):
+                view = views[i]
+                if not view.halted:
+                    view.halted = True
+                    view.state["crashed"] = True
+                    self.crashed.add(i)
+
+    def deliver(self, round_no: int, sender: int, port: int) -> bool:
+        for b in self.bound:
+            if not b.delivers(round_no, sender, port):
+                return False
+        return True

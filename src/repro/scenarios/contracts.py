@@ -1,0 +1,168 @@
+"""Validity contracts under faults: verify what survived.
+
+A clean-run verifier asks "is this output correct?".  Under crashes and
+dynamic edges the honest question is "how correct is the output *on the
+graph that remains*?" — crashed nodes are excluded, deleted edges are
+excluded, and the contract returns a **violation count** instead of a
+boolean, so resilience becomes a measured axis rather than a pass/fail.
+
+Conventions shared by all contracts here:
+
+* ``alive[i]`` — node ``i`` did not crash (a normally-terminated node is
+  alive);
+* the *surviving graph* has the alive nodes and the edges whose
+  ``edge_ok(i, p)`` predicate holds on both endpoints' ports (the
+  conjunction of the perturbation stack's
+  :meth:`~repro.scenarios.base.BoundPerturbation.edge_alive_final`);
+* degrees, degree thresholds and neighbor counts are all computed on the
+  surviving graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bipartite.instance import RED
+
+__all__ = [
+    "alive_mask",
+    "final_edge_ok",
+    "orientation_from_views",
+    "mis_violations",
+    "surviving_sinks",
+    "splitting_violations",
+]
+
+Adjacency = Sequence[Sequence[int]]
+EdgeOk = Callable[[int, int], bool]
+
+
+def alive_mask(views) -> List[bool]:
+    """Per-node survival flags from simulator views (crash marker unset)."""
+    return [not v.state.get("crashed") for v in views]
+
+
+def final_edge_ok(bound) -> EdgeOk:
+    """Conjunction of the stack's final-graph edge predicates."""
+
+    def ok(sender: int, port: int) -> bool:
+        return all(b.edge_alive_final(sender, port) for b in bound)
+
+    return ok
+
+
+def orientation_from_views(adjacency: Adjacency, views) -> Dict[Tuple[int, int], bool]:
+    """Extract ``{(u, v): True}`` from sinkless node states.
+
+    Same rule as the driver in :mod:`repro.orientation.sinkless`: the lower-
+    index endpoint's ``state["out"]`` is authoritative for each edge —
+    including frozen state of crashed nodes, which is exactly what the rest
+    of the network observes.
+    """
+    orientation: Dict[Tuple[int, int], bool] = {}
+    for i, view in enumerate(views):
+        out = view.state.get("out", {})
+        for p, is_out in out.items():
+            j = adjacency[i][p]
+            if i < j:
+                orientation[(i, j) if is_out else (j, i)] = True
+    return orientation
+
+
+def mis_violations(
+    adjacency: Adjacency,
+    mis: Set[int],
+    alive: Optional[Sequence[bool]] = None,
+    edge_ok: Optional[EdgeOk] = None,
+) -> Tuple[int, int]:
+    """MIS defects on the surviving graph.
+
+    Returns ``(independence, domination)``: the number of surviving edges
+    with both endpoints in the MIS, and the number of alive non-MIS nodes
+    with no alive MIS neighbor over a surviving edge (isolated alive nodes
+    outside the MIS count — they are undominated).
+    """
+    n = len(adjacency)
+    if alive is None:
+        alive = [True] * n
+    independence = 0
+    domination = 0
+    for i in range(n):
+        if not alive[i]:
+            continue
+        dominated = i in mis
+        for p, j in enumerate(adjacency[i]):
+            if not alive[j]:
+                continue
+            if edge_ok is not None and not edge_ok(i, p):
+                continue
+            if j in mis:
+                if i in mis and i < j:
+                    independence += 1
+                dominated = True
+        if not dominated:
+            domination += 1
+    return independence, domination
+
+
+def surviving_sinks(
+    adjacency: Adjacency,
+    orientation: Dict[Tuple[int, int], bool],
+    alive: Sequence[bool],
+    min_degree: int = 1,
+) -> List[int]:
+    """Sinks among the alive nodes on the alive-induced subgraph.
+
+    A node is accountable if its count of alive neighbors is at least
+    ``min_degree``; it violates if none of its outgoing edges leads to an
+    alive node.  (An outgoing edge into a crashed node no longer helps: in
+    the surviving graph that edge is gone.)
+    """
+    n = len(adjacency)
+    out_alive = [0] * n
+    for (u, v) in orientation:
+        if alive[u] and alive[v]:
+            out_alive[u] += 1
+    bad: List[int] = []
+    for i in range(n):
+        if not alive[i]:
+            continue
+        alive_degree = sum(1 for j in adjacency[i] if alive[j])
+        if alive_degree >= min_degree and out_alive[i] == 0:
+            bad.append(i)
+    return bad
+
+
+def splitting_violations(
+    adjacency: Adjacency,
+    partition: Sequence,
+    spec,
+    alive: Optional[Sequence[bool]] = None,
+    edge_ok: Optional[EdgeOk] = None,
+) -> List[int]:
+    """Uniform-splitting defects on the surviving graph.
+
+    Degrees, the ``spec.constrains`` threshold and the red-neighbor bounds
+    are all evaluated on the surviving graph; crashed (uncolored) nodes are
+    neither constrained nor counted.
+    """
+    n = len(adjacency)
+    if alive is None:
+        alive = [True] * n
+    bad: List[int] = []
+    for i in range(n):
+        if not alive[i]:
+            continue
+        degree = 0
+        red = 0
+        for p, j in enumerate(adjacency[i]):
+            if not alive[j]:
+                continue
+            if edge_ok is not None and not edge_ok(i, p):
+                continue
+            degree += 1
+            if partition[j] == RED:
+                red += 1
+        if spec.constrains(degree) and not (spec.lo(degree) <= red <= spec.hi(degree)):
+            bad.append(i)
+    return bad

@@ -1,0 +1,180 @@
+"""Dynamic-graph perturbations: edge churn, insertion and deletion streams.
+
+The simulators run on a fixed CSR layout, so dynamic graphs are modeled
+with the standard *supergraph* device: the network contains every edge that
+ever exists, and a perturbation masks delivery on edges that are currently
+down.  An edge that is down delivers nothing in either direction — to the
+algorithm this is indistinguishable from the edge being absent, which is
+exactly the dynamic-graph semantics of the faulty-LOCAL literature (nodes
+keep their port numbering; links come and go underneath).
+
+Edges are identified by canonical keys ``(min uid, max uid, k)`` where
+``k`` is the multi-edge occurrence index under the simulator's
+order-of-appearance pairing rule
+(:func:`~repro.local.network.build_reverse_ports`) — both endpoints of a
+parallel edge derive the same key, so up/down decisions are symmetric per
+edge, never per direction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.local.network import Network
+from repro.scenarios.base import BoundPerturbation, Perturbation, fault_u01
+from repro.utils.validation import require
+
+__all__ = ["edge_keys", "EdgeChurn", "LateEdges", "DropEdges"]
+
+
+def edge_keys(network: Network) -> List[List[str]]:
+    """Canonical per-port edge keys: ``keys[i][p]`` names the edge behind
+    node ``i``'s port ``p``, identically from both endpoints.
+
+    The key is ``"{min uid}:{max uid}:{k}"`` with ``k`` the occurrence
+    index of the pair — the k-th ``j`` in ``adjacency[i]`` pairs with the
+    k-th ``i`` in ``adjacency[j]``, so both directions count to the same
+    ``k``.
+    """
+    adjacency = network.adjacency
+    ids = network.ids
+    keys: List[List[str]] = []
+    occurrence: dict = {}
+    for i, nbrs in enumerate(adjacency):
+        row = []
+        for j in nbrs:
+            k = occurrence.get((i, j), 0)
+            occurrence[(i, j)] = k + 1
+            lo, hi = (ids[i], ids[j]) if ids[i] <= ids[j] else (ids[j], ids[i])
+            row.append(f"{lo}:{hi}:{k}")
+        keys.append(row)
+    return keys
+
+
+class EdgeChurn(Perturbation):
+    """i.i.d. per-round edge downtime — a churning dynamic graph.
+
+    Every round in ``[from_round, until_round]`` each edge is independently
+    down with probability ``p_down`` (both directions together, keyed by
+    the canonical edge key).  ``until_round=None`` churns forever.
+    """
+
+    def __init__(
+        self,
+        p_down: float = 0.1,
+        from_round: int = 1,
+        until_round: Optional[int] = None,
+    ):
+        require(0.0 <= p_down <= 1.0, f"p_down must be in [0, 1], got {p_down}")
+        require(from_round >= 1, f"from_round must be >= 1, got {from_round}")
+        require(
+            until_round is None or until_round >= from_round,
+            "until_round must be >= from_round",
+        )
+        self.p_down = p_down
+        self.from_round = from_round
+        self.until_round = until_round
+
+    def bind(self, network: Network, fault_seed: int) -> "_BoundChurn":
+        return _BoundChurn(
+            edge_keys(network), fault_seed, self.p_down, self.from_round, self.until_round
+        )
+
+
+class _BoundChurn(BoundPerturbation):
+    drops_messages = True
+
+    def __init__(self, keys, fault_seed, p_down, from_round, until_round):
+        self.keys = keys
+        self.fault_seed = fault_seed
+        self.p_down = p_down
+        self.from_round = from_round
+        self.until_round = until_round
+        self.quiet_after = until_round
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        if round_no < self.from_round:
+            return True
+        if self.until_round is not None and round_no > self.until_round:
+            return True
+        key = self.keys[sender][port]
+        return fault_u01(self.fault_seed, "churn", key, round_no) >= self.p_down
+
+
+class _BoundEdgeSet(BoundPerturbation):
+    """Shared machinery: a fixed edge subset that is down inside a window."""
+
+    drops_messages = True
+
+    def __init__(self, network, fault_seed, label, fraction):
+        keys = edge_keys(network)
+        # One coin per *edge* (not per direction): both ports of an edge see
+        # the same key and therefore the same membership decision.
+        self.member = [
+            [fault_u01(fault_seed, label, key) < fraction for key in row]
+            for row in keys
+        ]
+
+    def _in_set(self, sender: int, port: int) -> bool:
+        return self.member[sender][port]
+
+
+class LateEdges(Perturbation):
+    """Insertion stream: a deterministic ``fraction`` of the edges only
+    comes up at round ``at_round`` — before that they deliver nothing.
+
+    Models a growing dynamic graph: the final topology is the full graph,
+    so contracts validate against all edges, but early symmetry breaking
+    happened on the sparser prefix.
+    """
+
+    def __init__(self, fraction: float = 0.3, at_round: int = 3):
+        require(0.0 <= fraction <= 1.0, f"fraction must be in [0, 1], got {fraction}")
+        require(at_round >= 2, f"at_round must be >= 2, got {at_round}")
+        self.fraction = fraction
+        self.at_round = at_round
+
+    def bind(self, network: Network, fault_seed: int) -> "_BoundLate":
+        return _BoundLate(network, fault_seed, self.fraction, self.at_round)
+
+
+class _BoundLate(_BoundEdgeSet):
+    def __init__(self, network, fault_seed, fraction, at_round):
+        super().__init__(network, fault_seed, "late", fraction)
+        self.at_round = at_round
+        self.quiet_after = at_round - 1
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        return round_no >= self.at_round or not self._in_set(sender, port)
+
+
+class DropEdges(Perturbation):
+    """Deletion stream: a deterministic ``fraction`` of the edges goes down
+    at round ``at_round`` and stays down.
+
+    The final graph excludes the dropped edges, and
+    :meth:`~repro.scenarios.base.BoundPerturbation.edge_alive_final`
+    reports that, so contracts validate against the post-deletion topology.
+    """
+
+    def __init__(self, fraction: float = 0.2, at_round: int = 3):
+        require(0.0 <= fraction <= 1.0, f"fraction must be in [0, 1], got {fraction}")
+        require(at_round >= 1, f"at_round must be >= 1, got {at_round}")
+        self.fraction = fraction
+        self.at_round = at_round
+
+    def bind(self, network: Network, fault_seed: int) -> "_BoundDrop":
+        return _BoundDrop(network, fault_seed, self.fraction, self.at_round)
+
+
+class _BoundDrop(_BoundEdgeSet):
+    def __init__(self, network, fault_seed, fraction, at_round):
+        super().__init__(network, fault_seed, "dropedge", fraction)
+        self.at_round = at_round
+        self.quiet_after = at_round
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        return round_no < self.at_round or not self._in_set(sender, port)
+
+    def edge_alive_final(self, sender: int, port: int) -> bool:
+        return not self._in_set(sender, port)

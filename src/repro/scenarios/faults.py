@@ -1,0 +1,152 @@
+"""Node-crash and message-loss perturbations.
+
+Three classic fault models from the distributed-computing literature:
+
+* :class:`CrashNodes` — crash (fail-stop) faults: a deterministic victim
+  set halts at the start of one round and never speaks again;
+* :class:`IIDMessageDrop` — independent per-message loss with probability
+  ``p`` (an oblivious lossy-link adversary);
+* :class:`MuteHubs` — an adversarial schedule that silences the
+  highest-degree nodes for a prefix of the execution, the worst case for
+  algorithms whose progress is carried by hubs.
+
+All schedules are deterministic functions of the bind-time ``fault_seed``
+(see :func:`~repro.scenarios.base.fault_u01`), so a faulty run is exactly
+reproducible and bit-identical across executors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.local.network import Network
+from repro.scenarios.base import BoundPerturbation, Perturbation, fault_u01
+from repro.utils.validation import require
+
+__all__ = ["CrashNodes", "IIDMessageDrop", "MuteHubs"]
+
+
+class CrashNodes(Perturbation):
+    """Crash a deterministic set of nodes at the start of round ``at_round``.
+
+    ``fraction`` of the nodes (at least one, if the graph is non-empty and
+    ``fraction > 0``) is selected either uniformly (``select="random"``,
+    keyed by fault coins on the node uids) or adversarially
+    (``select="hubs"``: the highest-degree nodes go first).
+    """
+
+    def __init__(self, fraction: float = 0.1, at_round: int = 3, select: str = "random"):
+        require(0.0 <= fraction <= 1.0, f"fraction must be in [0, 1], got {fraction}")
+        require(at_round >= 1, f"at_round must be >= 1, got {at_round}")
+        require(select in ("random", "hubs"), f"unknown selection rule {select!r}")
+        self.fraction = fraction
+        self.at_round = at_round
+        self.select = select
+
+    def bind(self, network: Network, fault_seed: int) -> "_BoundCrash":
+        n = network.n
+        count = int(round(self.fraction * n))
+        if self.fraction > 0 and n > 0:
+            count = max(1, count)
+        if self.select == "hubs":
+            order = sorted(
+                range(n), key=lambda i: (-len(network.adjacency[i]), -network.ids[i])
+            )
+        else:
+            order = sorted(
+                range(n), key=lambda i: fault_u01(fault_seed, "crash", network.ids[i])
+            )
+        return _BoundCrash(tuple(sorted(order[:count])), self.at_round)
+
+
+class _BoundCrash(BoundPerturbation):
+    crashes_nodes = True
+
+    def __init__(self, victims: Tuple[int, ...], at_round: int):
+        self.victims = victims
+        self.at_round = at_round
+        self.quiet_after = at_round
+
+    def crashes(self, round_no: int):
+        return self.victims if round_no == self.at_round else ()
+
+
+class IIDMessageDrop(Perturbation):
+    """Each message is lost independently with probability ``p``.
+
+    Active for rounds in ``[from_round, until_round]`` (``until_round=None``
+    = forever, in which case the scenario has no recovery point and the
+    runner omits ``rounds_to_recover``).  Loss is per *directed* message —
+    the two directions of an edge fail independently, like a lossy duplex
+    link.
+    """
+
+    def __init__(self, p: float = 0.05, from_round: int = 1, until_round: Optional[int] = None):
+        require(0.0 <= p <= 1.0, f"p must be in [0, 1], got {p}")
+        require(from_round >= 1, f"from_round must be >= 1, got {from_round}")
+        require(
+            until_round is None or until_round >= from_round,
+            "until_round must be >= from_round",
+        )
+        self.p = p
+        self.from_round = from_round
+        self.until_round = until_round
+
+    def bind(self, network: Network, fault_seed: int) -> "_BoundIIDDrop":
+        return _BoundIIDDrop(
+            network.ids, fault_seed, self.p, self.from_round, self.until_round
+        )
+
+
+class _BoundIIDDrop(BoundPerturbation):
+    drops_messages = True
+
+    def __init__(self, ids, fault_seed, p, from_round, until_round):
+        self.ids = ids
+        self.fault_seed = fault_seed
+        self.p = p
+        self.from_round = from_round
+        self.until_round = until_round
+        self.quiet_after = until_round
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        if round_no < self.from_round:
+            return True
+        if self.until_round is not None and round_no > self.until_round:
+            return True
+        return (
+            fault_u01(self.fault_seed, "drop", self.ids[sender], round_no, port)
+            >= self.p
+        )
+
+
+class MuteHubs(Perturbation):
+    """Adversarial silence: the top-``count`` degree nodes deliver nothing
+    for rounds ``1..until_round`` (their outgoing messages are dropped; they
+    still receive and compute).  Ties break on higher uid.
+    """
+
+    def __init__(self, count: int = 3, until_round: int = 4):
+        require(count >= 1, f"count must be >= 1, got {count}")
+        require(until_round >= 1, f"until_round must be >= 1, got {until_round}")
+        self.count = count
+        self.until_round = until_round
+
+    def bind(self, network: Network, fault_seed: int) -> "_BoundMute":
+        order = sorted(
+            range(network.n),
+            key=lambda i: (-len(network.adjacency[i]), -network.ids[i]),
+        )
+        return _BoundMute(frozenset(order[: self.count]), self.until_round)
+
+
+class _BoundMute(BoundPerturbation):
+    drops_messages = True
+
+    def __init__(self, victims: frozenset, until_round: int):
+        self.victims = victims
+        self.until_round = until_round
+        self.quiet_after = until_round
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        return round_no > self.until_round or sender not in self.victims

@@ -1,0 +1,101 @@
+"""Masked-array view of a perturbation stack for the dense backend.
+
+The dense kernels (:mod:`repro.local.dense`) execute whole rounds as numpy
+array ops, so faults reach them as per-round *masks* instead of per-message
+hook calls: a boolean crash mask over nodes and boolean delivery masks over
+CSR slots.  :class:`DenseFaults` builds those masks from the same pure
+decision functions the :class:`~repro.scenarios.base.PerturbationHooks`
+adapter consults — evaluated slot-by-slot in Python, O(m) per faulty round
+— so a dense run with replayed coins stays bit-identical to the hooked
+engine run (property-tested in ``tests/scenarios/test_hook_equivalence.py``).
+
+Capability flags on the bound perturbations short-circuit the mask builds:
+a stack that never crashes returns ``None`` crash masks, one that never
+drops returns ``None`` delivery masks, and the kernels skip the masking
+entirely — keeping the fault-free dense hot path untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.local.engine import CSREngine
+from repro.scenarios.base import BoundPerturbation
+
+__all__ = ["DenseFaults"]
+
+
+class DenseFaults:
+    """Per-round crash and delivery masks over one engine's CSR layout.
+
+    ``crashed_at(r)`` — nodes crashing at the start of round ``r`` (or
+    ``None``); ``delivered_out(r)`` — per-slot mask of the slot as an
+    *outgoing* message (sender = slot owner); ``delivered_in(r)`` — per-slot
+    mask of the slot as the *receiving* side (sender = the CSR destination,
+    i.e. ``delivered_in[k] == delivered_out[partner(k)]``).
+    """
+
+    def __init__(self, engine: CSREngine, bound: Sequence[BoundPerturbation]):
+        import numpy as np
+
+        self._np = np
+        self.bound = tuple(bound)
+        offsets, dst_node, dst_port = engine.dense_arrays()
+        n = engine.n
+        self.n = n
+        self._out_sender = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+        self._out_port = (
+            np.arange(offsets[-1], dtype=np.int64) - offsets[:-1][self._out_sender]
+        )
+        self._in_sender = dst_node
+        self._in_port = dst_port
+        self._crashing = any(b.crashes_nodes for b in self.bound)
+        self._droppers = tuple(b for b in self.bound if b.drops_messages)
+        # Decisions are pure per round, so repeated queries (retry loops,
+        # multi-phase kernels) reuse the slot sweep instead of redoing it.
+        self._cache: dict = {}
+
+    def crashed_at(self, round_no: int):
+        """Bool node mask of crashes scheduled at ``round_no``, or None."""
+        if not self._crashing:
+            return None
+        key = ("crash", round_no)
+        if key in self._cache:
+            return self._cache[key]
+        np = self._np
+        mask = np.zeros(self.n, dtype=bool)
+        hit = False
+        for b in self.bound:
+            victims = list(b.crashes(round_no))
+            if victims:
+                mask[victims] = True
+                hit = True
+        result = mask if hit else None
+        self._cache[key] = result
+        return result
+
+    def _delivered(self, kind: str, round_no: int, senders, ports):
+        if not self._droppers:
+            return None
+        key = (kind, round_no)
+        if key in self._cache:
+            return self._cache[key]
+        np = self._np
+        out = np.ones(senders.shape[0], dtype=bool)
+        for k in range(senders.shape[0]):
+            sender = int(senders[k])
+            port = int(ports[k])
+            for b in self._droppers:
+                if not b.delivers(round_no, sender, port):
+                    out[k] = False
+                    break
+        self._cache[key] = out
+        return out
+
+    def delivered_out(self, round_no: int):
+        """Per-slot delivery mask, slot read as an outgoing message."""
+        return self._delivered("out", round_no, self._out_sender, self._out_port)
+
+    def delivered_in(self, round_no: int):
+        """Per-slot delivery mask, slot read as the receiving side."""
+        return self._delivered("in", round_no, self._in_sender, self._in_port)

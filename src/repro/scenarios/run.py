@@ -1,0 +1,329 @@
+"""Scenario execution: drive a pipeline under a perturbation stack.
+
+:func:`run_scenario` is the single entry point: it resolves a registered
+:class:`~repro.scenarios.registry.Scenario` (or takes one directly), builds
+the scenario graph, applies the stack's graph rewrites, binds the fault
+schedule to the trial seed, executes the pipeline on the requested backend
+and returns a flat dict of **resilience metrics** — the shape the sweep
+runner (:mod:`repro.exp`) records straight into the BENCH json:
+
+* ``rounds`` / ``completed`` — how long the run took and whether every
+  surviving node decided;
+* ``violations`` — contract defects on the surviving graph (plus
+  pipeline-specific splits such as ``independence_violations``);
+* ``survivors`` / ``crashed_nodes`` — who is left;
+* ``rounds_to_recover`` — rounds executed after the last fault injection
+  (only for schedules that settle);
+* solution quality (``mis_size``, ``attempts``, ...) and the standard
+  ``solve_seconds`` / ``setup_seconds`` timing channels.
+
+Fault coins and node coins both derive from the trial ``seed`` but under
+disjoint salt namespaces, so one seed axis drives the whole trial
+reproducibly (see :func:`~repro.scenarios.base.fault_u01`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from repro.apps.splitting import ZeroRoundSplitting
+from repro.bipartite.generators import configuration_model_regular, random_sparse_graph
+from repro.core.problems import UniformSplittingSpec
+from repro.local.engine import CSREngine
+from repro.local.network import Network, run_local
+from repro.mis.luby import LubyMIS
+from repro.orientation.sinkless import TrialAndFixSinkless, sinks
+from repro.scenarios.base import PerturbationHooks, bind_all, quiet_after, rewrite_all
+from repro.scenarios.contracts import (
+    alive_mask,
+    final_edge_ok,
+    mis_violations,
+    orientation_from_views,
+    splitting_violations,
+    surviving_sinks,
+)
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import require
+
+__all__ = ["run_scenario"]
+
+_DEFAULT_DEGREE = {"luby": 8, "sinkless": 4, "splitting": 40}
+
+
+def _scenario_adjacency(sc: Scenario, n: int, degree: int, graph_seed: int):
+    if sc.topology == "regular":
+        if n * degree % 2:
+            n += 1
+        return configuration_model_regular(n, degree, seed=graph_seed)
+    require(sc.topology == "sparse", f"unknown scenario topology {sc.topology!r}")
+    return random_sparse_graph(n, float(degree), seed=graph_seed)
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    n: int = 600,
+    degree: Optional[int] = None,
+    seed: int = 0,
+    graph_seed: int = 1,
+    backend: str = "engine",
+    adjacency=None,
+    max_rounds: Optional[int] = None,
+    coins: str = "philox",
+    max_attempts: int = 64,
+) -> Dict[str, Any]:
+    """Execute one scenario trial and return its resilience metrics.
+
+    ``scenario`` is a registry name or a :class:`Scenario`;
+    ``backend`` one of the scenario's supported executors (``reference`` —
+    hooked :func:`run_local`, ``engine`` — hooked :class:`CSREngine`,
+    ``dense`` — masked numpy kernels; ``coins`` selects the dense coin
+    table, ``"replay"`` for engine-bit-identical runs).  ``adjacency``
+    overrides the default scenario graph (the perturbation stack's graph
+    rewrites are still applied on top).  ``seed`` drives both the
+    algorithm's coins and the fault schedule; ``graph_seed`` only the
+    topology.  ``max_rounds`` defaults per pipeline: 10_000 (luby), 400
+    (sinkless — every round pays an O(n + m) probe, and a run that has not
+    recovered by then is recorded as incomplete, which is data).
+    """
+    sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    require(
+        backend in sc.backends,
+        f"scenario {sc.name!r} supports backends {sc.backends}, got {backend!r}",
+    )
+    require(
+        not (sc.pipeline == "sinkless" and backend == "reference"),
+        "the sinkless pipeline has no reference-mode driver (probe-driven); "
+        "use backend='engine' or 'dense'",
+    )
+    if degree is None:
+        degree = sc.degree if sc.degree is not None else _DEFAULT_DEGREE[sc.pipeline]
+    if max_rounds is None:
+        max_rounds = 400 if sc.pipeline == "sinkless" else 10_000
+
+    setup_start = time.perf_counter()
+    if adjacency is None:
+        adjacency = _scenario_adjacency(sc, n, degree, graph_seed)
+    adjacency, ids = rewrite_all(sc.perturbations, adjacency)
+    network = Network(adjacency, ids=ids)
+    engine = CSREngine(network) if backend in ("engine", "dense") else None
+    setup_seconds = time.perf_counter() - setup_start
+
+    bound = bind_all(sc.perturbations, network, fault_seed=seed)
+    quiet = quiet_after(bound)
+
+    solve_start = time.perf_counter()
+    if sc.pipeline == "luby":
+        metrics = _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins)
+    elif sc.pipeline == "sinkless":
+        metrics = _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins)
+    else:
+        metrics = _run_splitting(
+            sc, network, engine, backend, seed, degree, coins, max_attempts
+        )
+    metrics["solve_seconds"] = time.perf_counter() - solve_start
+
+    metrics["n"] = network.n
+    metrics["m"] = sum(len(a) for a in network.adjacency) // 2
+    metrics["setup_seconds"] = setup_seconds
+    if quiet is not None and quiet > 0:
+        # Rounds the run needed after the last fault injection; omitted for
+        # never-settling schedules (quiet=None) and fault-free stacks.
+        metrics["rounds_to_recover"] = max(0, metrics["rounds"] - quiet)
+    if sc.strict:
+        require(
+            metrics["violations"] == 0,
+            f"strict scenario {sc.name!r} produced {metrics['violations']} violations",
+        )
+        require(
+            metrics["completed"] == 1,
+            f"strict scenario {sc.name!r} did not complete",
+        )
+    return metrics
+
+
+def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins):
+    adjacency = network.adjacency
+    edge_ok = final_edge_ok(bound)
+    if backend == "dense":
+        from repro.local.dense import luby_mis_dense
+        from repro.scenarios.masks import DenseFaults
+
+        result = luby_mis_dense(
+            engine, seed=seed, coins=coins, max_rounds=max_rounds,
+            faults=DenseFaults(engine, bound),
+        )
+        alive = [not c for c in result.crashed]
+        mis = {int(i) for i in result.in_mis.nonzero()[0]}
+        completed = result.completed
+        rounds = result.rounds
+    else:
+        hooks = PerturbationHooks(bound)
+        if backend == "reference":
+            result = run_local(network, LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks)
+        else:
+            result = engine.run(LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks)
+        alive = alive_mask(result.views)
+        mis = {
+            i
+            for i, v in enumerate(result.views)
+            if alive[i] and v.state.get("in_mis")
+        }
+        completed = result.completed
+        rounds = result.rounds
+    independence, domination = mis_violations(adjacency, mis, alive=alive, edge_ok=edge_ok)
+    survivors = sum(alive)
+    return {
+        "rounds": rounds,
+        "completed": int(completed),
+        "mis_size": len(mis),
+        "survivors": survivors,
+        "crashed_nodes": network.n - survivors,
+        "independence_violations": independence,
+        "domination_violations": domination,
+        "violations": independence + domination,
+    }
+
+
+def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins):
+    adjacency = network.adjacency
+    min_degree = sc.min_degree
+    # Fault schedules for sinkless must leave round 1 (the proposal
+    # exchange) clean — the dense kernel's fault window starts at round 2,
+    # so a round-1 fault would silently diverge between backends instead of
+    # degrading gracefully.  Enforce it: an O(m) sweep of the pure decision
+    # functions, turned into a loud error rather than wrong data.
+    for b in bound:
+        require(
+            not tuple(b.crashes(1)),
+            "sinkless scenarios must leave round 1 clean: schedule crashes "
+            "from round 2 on (e.g. CrashNodes(at_round=2))",
+        )
+        require(
+            all(
+                b.delivers(1, s, p)
+                for s in range(network.n)
+                for p in range(len(adjacency[s]))
+            ),
+            "sinkless scenarios must leave round 1 clean: start message "
+            "faults from round 2 (e.g. IIDMessageDrop(from_round=2))",
+        )
+    # Recovery dynamics start with the fix rounds.
+    if backend == "dense":
+        from repro.local.dense import sinkless_trial_dense
+        from repro.scenarios.masks import DenseFaults
+
+        result = sinkless_trial_dense(
+            engine, min_degree=min_degree, seed=seed, coins=coins,
+            max_rounds=max_rounds, faults=DenseFaults(engine, bound), strict=False,
+        )
+        alive = [not c for c in result.crashed]
+        from repro.local.dense import dense_orientation
+
+        orientation = dense_orientation(engine, result.out)
+        completed = result.completed
+        rounds = result.rounds
+    else:
+        hooks = PerturbationHooks(bound)
+
+        # Stop when no *alive* node is a full-graph sink — the strongest
+        # condition the algorithm can reach: crashes are silent, so a node
+        # whose outgoing edge leads to a dead neighbor rightly believes it
+        # is done.  Residual surviving-subgraph sinks are recorded as
+        # violations below.  (This is exactly the dense kernel's probe.)
+        def probe(round_no: int, views) -> bool:
+            if round_no < 2:
+                return False
+            orientation = orientation_from_views(adjacency, views)
+            alive = alive_mask(views)
+            return not any(alive[v] for v in sinks(adjacency, orientation, min_degree))
+
+        result = engine.run(
+            TrialAndFixSinkless(min_degree=min_degree),
+            max_rounds=max_rounds, seed=seed, probe=probe, hooks=hooks,
+        )
+        alive = alive_mask(result.views)
+        orientation = orientation_from_views(adjacency, result.views)
+        rounds = result.rounds
+        completed = rounds >= 2 and not any(
+            alive[v] for v in sinks(adjacency, orientation, min_degree)
+        )
+    remaining = surviving_sinks(adjacency, orientation, alive, min_degree)
+    survivors = sum(alive)
+    return {
+        "rounds": rounds,
+        "completed": int(completed),
+        "survivors": survivors,
+        "crashed_nodes": network.n - survivors,
+        "violations": len(remaining),
+    }
+
+
+def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attempts):
+    adjacency = network.adjacency
+    spec = UniformSplittingSpec(eps=sc.eps, min_constrained_degree=max(2, degree // 2))
+    rng = ensure_rng(seed)
+    if backend == "dense":
+        from repro.local.dense import uniform_splitting_dense
+        from repro.scenarios.masks import DenseFaults
+    partition: List[Optional[int]] = [None] * network.n
+    alive = [True] * network.n
+    accepted = False
+    attempts = 0
+    for attempts in range(1, max_attempts + 1):
+        run_seed = rng.randrange(2**31)
+        # Every attempt is one fresh round-1 execution, so the fault
+        # schedule rebinds on the attempt's own seed — otherwise a lossy
+        # environment would replay the identical drop pattern against all
+        # retries (a frozen adversary instead of an i.i.d. channel).
+        attempt_bound = bind_all(sc.perturbations, network, fault_seed=run_seed)
+        if backend == "dense":
+            result = uniform_splitting_dense(
+                engine, spec, seed=run_seed, coins=coins,
+                faults=DenseFaults(engine, attempt_bound),
+            )
+            partition = [int(c) for c in result.colors]
+            alive = [not c for c in result.crashed]
+            accepted = result.ok
+        else:
+            hooks = PerturbationHooks(attempt_bound)
+            algorithm = ZeroRoundSplitting(spec)
+            if backend == "reference":
+                result = run_local(network, algorithm, max_rounds=1, seed=run_seed, hooks=hooks)
+            else:
+                result = engine.run(algorithm, max_rounds=1, seed=run_seed, hooks=hooks)
+            alive = alive_mask(result.views)
+            partition = [
+                v.output[0] if alive[i] and v.output is not None else v.state.get("color")
+                for i, v in enumerate(result.views)
+            ]
+            accepted = all(
+                v.output[1]
+                for i, v in enumerate(result.views)
+                if alive[i] and v.output is not None
+            )
+        if accepted:
+            break
+    # Ground truth for the attempt that actually stood (its binding decides
+    # the final edge set under edge-dropping perturbations).
+    bad = splitting_violations(
+        adjacency, partition, spec, alive=alive, edge_ok=final_edge_ok(attempt_bound)
+    )
+    survivors = sum(alive)
+    constrained = sum(
+        1
+        for i in range(network.n)
+        if alive[i]
+        and spec.constrains(sum(1 for j in adjacency[i] if alive[j]))
+    )
+    return {
+        "rounds": attempts,  # one communication round per Las-Vegas attempt
+        "completed": int(accepted),
+        "attempts": attempts,
+        "accepted": int(accepted),
+        "survivors": survivors,
+        "crashed_nodes": network.n - survivors,
+        "constrained": constrained,
+        "violations": len(bad),
+    }
