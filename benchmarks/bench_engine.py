@@ -1,6 +1,6 @@
-"""E17/E18 — execution-backend ladder on Luby MIS throughput.
+"""E17/E18/E19 — execution-backend ladder on Luby MIS throughput.
 
-Two claims under test, both with equivalence asserted on every run and
+Three claims under test, all with equivalence asserted on every run and
 wall-clock ratios taken best-of-N with the GC paused (:func:`_harness.best_of`
 — the 1-CPU container jitters too much for single-shot gates):
 
@@ -13,6 +13,11 @@ wall-clock ratios taken best-of-N with the GC paused (:func:`_harness.best_of`
   kernels with counter-based coins at >= 10x the engine's throughput at
   n = 100,000 on a ``random_sparse_graph`` of average degree ~20, while a
   replayed-coin run stays bit-identical to the engine.
+* **E19**: faulty dense runs keep the dense speedup — the counter-based
+  mask kernel (``fault_mode="mask"``) builds the per-round delivery mask
+  of an ``IIDMessageDrop(p=0.05)`` scenario at n = 100,000, deg ~20 at
+  >= 8x the per-slot-loop (replay) baseline, and a full faulty mask-mode
+  Luby run completes; both timings land in the BENCH json rows.
 """
 
 import time
@@ -119,6 +124,97 @@ def test_e18_dense_backend_mis_speedup(benchmark):
         ],
     )
     assert speedup >= 10.0, f"dense backend only {speedup:.2f}x faster than engine"
+
+
+def test_e19_fault_mask_dense_mis_speedup(benchmark):
+    """Mask-mode fault kernels >= 8x over the per-slot loop at n = 100k.
+
+    The baseline is the replay-mode mask build — exactly the per-slot
+    python sweep over scalar ``fault_u01`` coins that ``DenseFaults`` ran
+    before the vectorized path existed (sha512-seeded ``random.Random``
+    per slot, O(m) interpreter work per round).  The contender is one
+    counter-based hash-kernel call per round.  Both are one-round costs on
+    the same engine and stack, so the ratio is the per-round fault-mask
+    overhead a faulty dense sweep pays.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.local.dense import luby_mis_dense
+    from repro.scenarios import IIDMessageDrop, bind_all
+    from repro.scenarios.masks import DenseFaults, SlotLayout
+
+    adj = random_sparse_graph(DENSE_N, DENSE_AVG_DEGREE, seed=19)
+    engine = CSREngine(Network(adj))
+    engine.dense_arrays()
+    net = engine.network
+    layout = SlotLayout(engine)
+    perts = (IIDMessageDrop(p=0.05),)
+    bound_mask = bind_all(perts, net, fault_seed=1, fault_mode="mask")
+    bound_loop = bind_all(perts, net, fault_seed=1, fault_mode="replay")
+
+    # Correctness before speed: delivered_in must be the partner-gather of
+    # delivered_out, and the mask drop rate must sit at p.
+    faults = DenseFaults(engine, bound_mask, layout=layout)
+    out1 = faults.delivered_out(1)
+    assert np.array_equal(faults.delivered_in(1), out1[layout.partner])
+    drop_rate = 1.0 - out1.mean()
+    assert abs(drop_rate - 0.05) < 0.005, f"mask drop rate {drop_rate:.4f}"
+
+    # A full faulty mask-mode run completes (under pure drops nobody
+    # crashes and every node still decides).
+    start = time.perf_counter()
+    dense = luby_mis_dense(
+        engine, seed=1, coins="philox",
+        faults=DenseFaults(engine, bound_mask, layout=layout),
+    )
+    t_faulty_run = time.perf_counter() - start
+    assert dense.completed and not dense.crashed.any()
+
+    # Per-round mask build: per-slot loop baseline vs counter-based kernel.
+    # A fresh DenseFaults per call defeats its round cache; repeat=1 for
+    # the baseline (a single sweep is ~seconds of sha512 work, and noise
+    # only helps the gate), with one remeasure before failing.
+    t_loop = best_of(
+        lambda: DenseFaults(engine, bound_loop, layout=layout).delivered_out(1),
+        repeat=1,
+    )
+    t_mask = best_of(
+        lambda: DenseFaults(engine, bound_mask, layout=layout).delivered_out(1),
+        repeat=5,
+    )
+    speedup = t_loop / t_mask
+    if speedup < 8.0:
+        t_loop = min(t_loop, best_of(
+            lambda: DenseFaults(engine, bound_loop, layout=layout).delivered_out(1),
+            repeat=1,
+        ))
+        t_mask = min(t_mask, best_of(
+            lambda: DenseFaults(engine, bound_mask, layout=layout).delivered_out(1),
+            repeat=5,
+        ))
+        speedup = t_loop / t_mask
+
+    benchmark(lambda: DenseFaults(engine, bound_mask, layout=layout).delivered_out(1))
+    attach_rows(
+        benchmark,
+        "E19: counter-based fault masks vs per-slot loop (faulty dense Luby)",
+        ["n", "avg deg", "rounds", "loop mask s", "kernel mask s", "speedup",
+         "faulty run s"],
+        [
+            (
+                DENSE_N,
+                DENSE_AVG_DEGREE,
+                dense.rounds,
+                f"{t_loop:.3f}",
+                f"{t_mask:.4f}",
+                f"{speedup:.1f}x",
+                f"{t_faulty_run:.3f}",
+            )
+        ],
+    )
+    assert speedup >= 8.0, f"mask kernel only {speedup:.2f}x over the slot loop"
 
 
 def test_e17_engine_mis_large_sweep_scales(benchmark):

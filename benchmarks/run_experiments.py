@@ -18,7 +18,13 @@ Usage::
     python benchmarks/run_experiments.py --out BENCH_ci.json
     python benchmarks/run_experiments.py --scenarios all  # + resilience cells
     python benchmarks/run_experiments.py --scenarios luby/crash,sinkless/crash
+    python benchmarks/run_experiments.py --scenarios all --fault-mode mask
     python benchmarks/run_experiments.py --legacy-tables  # old E1-E16 scrape
+
+Every trial is also appended to the ``bench_history.jsonl`` results store
+(``--history`` overrides the path, ``--history ''`` disables) keyed by
+(git commit, experiment, backend, seed), so the perf/resilience trajectory
+stays queryable across PRs.
 
 ``--legacy-tables`` reproduces the historical behaviour: run the full
 pytest-benchmark suite and collect the ``== Ei ==`` tables into one
@@ -101,16 +107,21 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense")):
     return specs
 
 
-def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends):
+def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
+                         fault_mode: str = "replay"):
     """Scenario cells for the ``--scenarios`` axis (resilience metrics).
 
     ``names`` is ``"all"`` or a comma-separated list of registry names from
     :mod:`repro.scenarios`; one cell per (scenario, supported backend in
     ``backends``).  Each trial seed drives both the algorithm coins and the
-    deterministic fault schedule.
+    deterministic fault schedule; ``fault_mode`` picks the fault-coin
+    kernel (``"replay"`` — historical bit-identity schedule, ``"mask"`` —
+    vectorized counter-based masks, the perf mode for dense cells).
     """
-    from repro.scenarios import get_scenario, scenario_names
+    from repro.scenarios import FAULT_MODES, get_scenario, scenario_names
 
+    if fault_mode not in FAULT_MODES:
+        raise ValueError(f"unknown fault mode {fault_mode!r}; expected {FAULT_MODES}")
     selected = scenario_names() if names == "all" else [
         s.strip() for s in names.split(",") if s.strip()
     ]
@@ -126,7 +137,8 @@ def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends):
                 ExperimentSpec(
                     f"scenario/{name}@{backend}",
                     scenario_workload,
-                    {"scenario": name, "n": n, "backend": backend},
+                    {"scenario": name, "n": n, "backend": backend,
+                     "fault_mode": fault_mode},
                     seeds=seeds,
                 )
             )
@@ -176,11 +188,24 @@ def _write_report(sweep, path: Path) -> None:
     path.write_text("\n".join(lines) + "\n")
 
 
+def _load_store():
+    """The sibling ``store.py`` module (benchmarks/ is not a package)."""
+    import importlib.util
+
+    path = Path(__file__).resolve().parent / "store.py"
+    spec = importlib.util.spec_from_file_location("bench_store", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
 def run_sweeps(args) -> int:
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     specs = build_specs(args.quick, args.seeds, backends=backends)
     if args.scenarios is not None:
-        specs += build_scenario_specs(args.quick, args.seeds, args.scenarios, backends)
+        specs += build_scenario_specs(
+            args.quick, args.seeds, args.scenarios, backends, args.fault_mode
+        )
     out = Path(
         args.out
         if args.out
@@ -196,6 +221,9 @@ def run_sweeps(args) -> int:
     sweep = run_sweep(specs, workers=args.workers, json_path=str(out), progress=progress)
     _print_summary(sweep)
     print(f"wrote {out}")
+    if args.history:
+        rows = _load_store().append_history(sweep, args.history)
+        print(f"appended {rows} rows to {args.history}")
     if args.report:
         _write_report(sweep, Path(args.report))
         print(f"wrote {args.report}")
@@ -290,6 +318,17 @@ def main() -> int:
                         help="also sweep fault/adversary scenarios: 'all' or "
                         "comma-separated registry names from repro.scenarios "
                         "(resilience metrics land in the BENCH json)")
+    parser.add_argument("--fault-mode", choices=("replay", "mask"),
+                        default="replay",
+                        help="fault-coin kernel for --scenarios cells: "
+                        "'replay' (historical bit-identity schedule) or "
+                        "'mask' (vectorized counter-based masks, the perf "
+                        "mode for large dense sweeps)")
+    parser.add_argument("--history", default="bench_history.jsonl",
+                        metavar="JSONL",
+                        help="append every trial to this results store "
+                        "keyed by (commit, experiment, backend, seed); "
+                        "pass '' to disable")
     parser.add_argument("--out", default=None, help="JSON output path "
                         "(default BENCH_<date>.json)")
     parser.add_argument("--report", default=None, help="also write a markdown summary")

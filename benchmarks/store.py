@@ -1,0 +1,109 @@
+"""Append-only results store for experiment sweeps.
+
+``BENCH_*.json`` files are one-artifact-per-run; this module keeps the
+*trajectory*: every trial of every ``run_experiments.py`` invocation is
+appended as one JSON line to ``bench_history.jsonl``, keyed by
+``(git commit, experiment, backend, seed)``, so perf and resilience
+numbers are queryable across PRs instead of buried in per-run artifacts::
+
+    import store
+    rows = store.load_history("bench_history.jsonl")
+    luby = [r for r in rows if r["experiment"].startswith("mis/") and r["ok"]]
+
+The format is deliberately minimal (the ROADMAP's "results store" item,
+jsonl cut): flat rows, schema-versioned, safe to append from concurrent CI
+steps (one ``write`` per line).  CI uploads the file alongside the BENCH
+artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["current_commit", "history_rows", "append_history", "load_history"]
+
+#: Schema version of one history row.
+HISTORY_SCHEMA = 1
+
+
+def current_commit(cwd: Optional[str] = None) -> str:
+    """Short git commit hash of the working tree, ``"unknown"`` outside git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, cwd=cwd, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else "unknown"
+
+
+def _backend_of(trial) -> str:
+    """The execution-backend axis of one trial.
+
+    Sweep cells encode it as an ``@backend`` name suffix
+    (``mis/sparse@dense``, ``scenario/luby/crash@engine``); cells without
+    the suffix fall back to their params (``backend=`` or the splitting
+    workload's ``method=``).
+    """
+    if "@" in trial.experiment:
+        return trial.experiment.rsplit("@", 1)[1]
+    params = trial.params or {}
+    return str(params.get("backend") or params.get("method") or "")
+
+
+def history_rows(sweep, commit: Optional[str] = None) -> List[Dict[str, Any]]:
+    """One flat dict per trial of a :class:`~repro.exp.SweepResult`."""
+    commit = commit or current_commit()
+    written_at = time.time()
+    return [
+        {
+            "schema": HISTORY_SCHEMA,
+            "commit": commit,
+            "experiment": t.experiment,
+            "backend": _backend_of(t),
+            "seed": t.seed,
+            "ok": t.ok,
+            "error": t.error,
+            "elapsed": t.elapsed,
+            "written_at": written_at,
+            "params": t.params,
+            "metrics": t.metrics,
+        }
+        for t in sweep.trials
+    ]
+
+
+def append_history(sweep, path, commit: Optional[str] = None) -> int:
+    """Append every trial of ``sweep`` to the jsonl store at ``path``.
+
+    Returns the number of rows written.  The file is created on first use;
+    rows are never rewritten, so the store is an audit log — dedup on
+    ``(commit, experiment, backend, seed)`` at query time if a sweep is
+    re-run on one commit.
+    """
+    rows = history_rows(sweep, commit=commit)
+    path = Path(path)
+    with path.open("a") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
+
+
+def load_history(path) -> List[Dict[str, Any]]:
+    """All rows of a jsonl store (empty list for a missing file)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows

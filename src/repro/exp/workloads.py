@@ -235,22 +235,27 @@ def scenario_workload(
     degree: int = None,
     backend: str = "engine",
     graph_seed: int = 5,
+    fault_mode: str = "replay",
 ) -> Dict[str, Any]:
     """One registered fault/adversary scenario trial (see
     :mod:`repro.scenarios`): the ``scenario=`` axis of a sweep.
 
     The trial seed drives both the algorithm's coins and the deterministic
-    fault schedule; the returned metrics are the scenario runner's
-    resilience channels (``violations``, ``survivors``,
-    ``rounds_to_recover``, ...) which land in the BENCH json next to the
-    throughput numbers.  Scenario graphs are rewritten per scenario
-    (relabelings, multi-edge lifts), so these cells build their own
-    networks instead of sharing :func:`scenario_engine`'s cache.
+    fault schedule; ``fault_mode`` picks the fault-coin kernel
+    (``"replay"`` — the historical bit-identity schedule, ``"mask"`` — the
+    vectorized counter-based kernel for large-n dense sweeps).  The
+    returned metrics are the scenario runner's resilience channels
+    (``violations``, ``survivors``, ``rounds_to_recover``, ...) which land
+    in the BENCH json next to the throughput numbers.  Scenario graphs are
+    rewritten per scenario (relabelings, multi-edge lifts), so these cells
+    use the scenario runner's own per-cell cache instead of
+    :func:`scenario_engine`'s.
     """
     from repro.scenarios import run_scenario
 
     return run_scenario(
-        scenario, n=n, degree=degree, seed=seed, graph_seed=graph_seed, backend=backend
+        scenario, n=n, degree=degree, seed=seed, graph_seed=graph_seed,
+        backend=backend, fault_mode=fault_mode,
     )
 
 

@@ -215,11 +215,18 @@ def luby_mis_dense(
     owner = _slot_owner(offsets)
     r = np.zeros(n, dtype=np.float64)
 
+    # Past the stack's quiet horizon no fault can occur, so the loop drops
+    # the faults object and the recovery tail runs at fault-free cost
+    # (DenseFaults.expired; other mask providers may omit it).
+    faults_expired = getattr(faults, "expired", None)
+
     rounds = 0
     while active.any():
         if rounds + 1 > max_rounds:
             break
         round1 = rounds + 1
+        if faults is not None and faults_expired is not None and faults_expired(round1):
+            faults = None
         if faults is not None:
             crash = faults.crashed_at(round1)
             if crash is not None:
@@ -328,8 +335,11 @@ def sinkless_trial_dense(
     constrained = degrees >= min_degree
     low_view = owner < dst_node  # extraction rule: lower *index* endpoint's view
     crashed = np.zeros(n, dtype=bool)
+    faults_expired = getattr(faults, "expired", None)
 
     for round_no in range(2, max_rounds + 1):
+        if faults is not None and faults_expired is not None and faults_expired(round_no):
+            faults = None  # quiet horizon passed: fix rounds run fault-free
         if faults is not None:
             crash = faults.crashed_at(round_no)
             if crash is not None:

@@ -24,11 +24,14 @@ sweep CLI: ``python benchmarks/run_experiments.py --scenarios all``.
 
 from repro.scenarios.adversary import AdversarialIDs, MultiEdgeLift, PortScramble
 from repro.scenarios.base import (
+    FAULT_MODES,
     BoundPerturbation,
     Perturbation,
     PerturbationHooks,
     bind_all,
     fault_u01,
+    fault_u01_array,
+    fault_u01_mix,
     quiet_after,
     rewrite_all,
 )
@@ -40,7 +43,13 @@ from repro.scenarios.contracts import (
     splitting_violations,
     surviving_sinks,
 )
-from repro.scenarios.dynamic import DropEdges, EdgeChurn, LateEdges, edge_keys
+from repro.scenarios.dynamic import (
+    DropEdges,
+    EdgeChurn,
+    LateEdges,
+    edge_key_triples,
+    edge_keys,
+)
 from repro.scenarios.faults import CrashNodes, IIDMessageDrop, MuteHubs
 from repro.scenarios.registry import (
     Scenario,
@@ -59,7 +68,10 @@ __all__ = [
     "bind_all",
     "rewrite_all",
     "quiet_after",
+    "FAULT_MODES",
     "fault_u01",
+    "fault_u01_mix",
+    "fault_u01_array",
     # perturbations
     "CrashNodes",
     "IIDMessageDrop",
@@ -68,6 +80,7 @@ __all__ = [
     "LateEdges",
     "DropEdges",
     "edge_keys",
+    "edge_key_triples",
     "AdversarialIDs",
     "PortScramble",
     "MultiEdgeLift",

@@ -5,6 +5,12 @@ the LOCAL model lets an adversary pick: the unique identifiers, the port
 numbering, and edge multiplicities.  A correct algorithm must produce a
 valid output under every such presentation, so scenarios built from these
 run with ``strict=True``: the verifier-checked contract must hold exactly.
+
+Because they are rewrite-only, all three bind to the identity
+:class:`~repro.scenarios.base.BoundPerturbation`, whose vectorized
+``delivers_mask`` / ``crashes_mask`` surface is trivially fault-free in
+every fault mode — the dense adapter's capability flags skip their mask
+builds entirely, so adversarial scenarios keep the fault-free hot path.
 """
 
 from __future__ import annotations

@@ -11,8 +11,12 @@ Three classic fault models from the distributed-computing literature:
   algorithms whose progress is carried by hubs.
 
 All schedules are deterministic functions of the bind-time ``fault_seed``
-(see :func:`~repro.scenarios.base.fault_u01`), so a faulty run is exactly
-reproducible and bit-identical across executors.
+and ``fault_mode`` (see :func:`~repro.scenarios.base.fault_u01` /
+:func:`~repro.scenarios.base.fault_u01_mix`), so a faulty run is exactly
+reproducible and bit-identical across executors.  Every bound class
+implements the vectorized ``delivers_mask`` / ``crashes_mask`` surface:
+i.i.d. drops collapse to one counter-based hash kernel call per round,
+victim-set models to an ``np.isin`` / index scatter.
 """
 
 from __future__ import annotations
@@ -20,7 +24,13 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.local.network import Network
-from repro.scenarios.base import BoundPerturbation, Perturbation, fault_u01
+from repro.scenarios.base import (
+    BoundPerturbation,
+    Perturbation,
+    fault_u01,
+    fault_u01_array,
+    fault_u01_mix,
+)
 from repro.utils.validation import require
 
 __all__ = ["CrashNodes", "IIDMessageDrop", "MuteHubs"]
@@ -32,7 +42,9 @@ class CrashNodes(Perturbation):
     ``fraction`` of the nodes (at least one, if the graph is non-empty and
     ``fraction > 0``) is selected either uniformly (``select="random"``,
     keyed by fault coins on the node uids) or adversarially
-    (``select="hubs"``: the highest-degree nodes go first).
+    (``select="hubs"``: the highest-degree nodes go first).  Victim
+    selection is bind-time and mode-independent — the same nodes crash in
+    replay and mask fault modes.
     """
 
     def __init__(self, fraction: float = 0.1, at_round: int = 3, select: str = "random"):
@@ -43,7 +55,9 @@ class CrashNodes(Perturbation):
         self.at_round = at_round
         self.select = select
 
-    def bind(self, network: Network, fault_seed: int) -> "_BoundCrash":
+    def bind(
+        self, network: Network, fault_seed: int, fault_mode: str = "replay"
+    ) -> "_BoundCrash":
         n = network.n
         count = int(round(self.fraction * n))
         if self.fraction > 0 and n > 0:
@@ -66,9 +80,21 @@ class _BoundCrash(BoundPerturbation):
         self.victims = victims
         self.at_round = at_round
         self.quiet_after = at_round
+        self._victim_mask = None  # built on first crashes_mask call
 
     def crashes(self, round_no: int):
         return self.victims if round_no == self.at_round else ()
+
+    def crashes_mask(self, round_no: int, n: int):
+        if round_no != self.at_round or not self.victims:
+            return None
+        if self._victim_mask is None:
+            import numpy as np
+
+            mask = np.zeros(n, dtype=bool)
+            mask[list(self.victims)] = True
+            self._victim_mask = mask
+        return self._victim_mask
 
 
 class IIDMessageDrop(Perturbation):
@@ -92,32 +118,59 @@ class IIDMessageDrop(Perturbation):
         self.from_round = from_round
         self.until_round = until_round
 
-    def bind(self, network: Network, fault_seed: int) -> "_BoundIIDDrop":
+    def bind(
+        self, network: Network, fault_seed: int, fault_mode: str = "replay"
+    ) -> "_BoundIIDDrop":
         return _BoundIIDDrop(
-            network.ids, fault_seed, self.p, self.from_round, self.until_round
+            network.ids, fault_seed, self.p, self.from_round, self.until_round,
+            fault_mode,
         )
 
 
 class _BoundIIDDrop(BoundPerturbation):
     drops_messages = True
 
-    def __init__(self, ids, fault_seed, p, from_round, until_round):
+    def __init__(self, ids, fault_seed, p, from_round, until_round, fault_mode="replay"):
         self.ids = ids
         self.fault_seed = fault_seed
         self.p = p
         self.from_round = from_round
         self.until_round = until_round
         self.quiet_after = until_round
+        self.fault_mode = fault_mode
+        self._uid_arr = None
 
-    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+    def _quiet(self, round_no: int) -> bool:
         if round_no < self.from_round:
             return True
-        if self.until_round is not None and round_no > self.until_round:
+        return self.until_round is not None and round_no > self.until_round
+
+    def delivers(self, round_no: int, sender: int, port: int) -> bool:
+        if self._quiet(round_no):
             return True
-        return (
-            fault_u01(self.fault_seed, "drop", self.ids[sender], round_no, port)
-            >= self.p
+        if self.fault_mode == "mask":
+            u = fault_u01_mix(
+                self.fault_seed, "drop", self.ids[sender], round_no, port
+            )
+        else:
+            u = fault_u01(self.fault_seed, "drop", self.ids[sender], round_no, port)
+        return u >= self.p
+
+    def delivers_mask(self, round_no: int, senders, ports):
+        if self._quiet(round_no):
+            return None
+        if self._uid_arr is None:
+            import numpy as np
+
+            self._uid_arr = np.asarray(self.ids, dtype=np.int64)
+        # One hash-kernel call for the whole round (replay mode falls back
+        # to the scalar chain internally, elementwise-identical to
+        # ``delivers``).
+        u = fault_u01_array(
+            self.fault_seed, "drop", self._uid_arr[senders], round_no, ports,
+            mode=self.fault_mode,
         )
+        return u >= self.p
 
 
 class MuteHubs(Perturbation):
@@ -132,7 +185,9 @@ class MuteHubs(Perturbation):
         self.count = count
         self.until_round = until_round
 
-    def bind(self, network: Network, fault_seed: int) -> "_BoundMute":
+    def bind(
+        self, network: Network, fault_seed: int, fault_mode: str = "replay"
+    ) -> "_BoundMute":
         order = sorted(
             range(network.n),
             key=lambda i: (-len(network.adjacency[i]), -network.ids[i]),
@@ -147,6 +202,16 @@ class _BoundMute(BoundPerturbation):
         self.victims = victims
         self.until_round = until_round
         self.quiet_after = until_round
+        self._victim_arr = None
 
     def delivers(self, round_no: int, sender: int, port: int) -> bool:
         return round_no > self.until_round or sender not in self.victims
+
+    def delivers_mask(self, round_no: int, senders, ports):
+        if round_no > self.until_round or not self.victims:
+            return None
+        import numpy as np
+
+        if self._victim_arr is None:
+            self._victim_arr = np.array(sorted(self.victims), dtype=np.int64)
+        return ~np.isin(senders, self._victim_arr)

@@ -3,11 +3,28 @@
 The dense kernels (:mod:`repro.local.dense`) execute whole rounds as numpy
 array ops, so faults reach them as per-round *masks* instead of per-message
 hook calls: a boolean crash mask over nodes and boolean delivery masks over
-CSR slots.  :class:`DenseFaults` builds those masks from the same pure
-decision functions the :class:`~repro.scenarios.base.PerturbationHooks`
-adapter consults — evaluated slot-by-slot in Python, O(m) per faulty round
-— so a dense run with replayed coins stays bit-identical to the hooked
-engine run (property-tested in ``tests/scenarios/test_hook_equivalence.py``).
+CSR slots.  :class:`DenseFaults` builds those masks from the stack's
+vectorized ``delivers_mask`` / ``crashes_mask`` decisions — one
+counter-based hash-kernel call per dropper per round in ``"mask"`` fault
+mode, the scalar-chain replay in ``"replay"`` mode — and falls back to a
+per-slot sweep of the pure scalar ``delivers`` for perturbations without a
+vectorized path, so any stack stays exactly equivalent to the hooked
+engine (property-tested in ``tests/scenarios/test_hook_equivalence.py``
+and ``tests/scenarios/test_mask_kernels.py``).
+
+Three structural savings over the per-slot-loop implementation this
+replaces:
+
+* ``delivered_in`` is a **gather** of ``delivered_out`` through the CSR
+  partner permutation (``delivered_in[k] == delivered_out[partner(k)]``,
+  both sides of a slot name the same (sender, port) message) instead of a
+  second O(m) sweep;
+* rounds past the stack's quiet horizon (``max(quiet_after)``) reuse one
+  **steady-state** mask — ``None`` for stacks that heal, the frozen
+  deletion mask for :class:`~repro.scenarios.dynamic.DropEdges` — so long
+  recovery tails pay zero mask cost and the per-round cache stops growing;
+* never-settling stacks (``quiet_after=None``) keep a size-bounded FIFO
+  cache instead of one entry per round forever.
 
 Capability flags on the bound perturbations short-circuit the mask builds:
 a stack that never crashes returns ``None`` crash masks, one that never
@@ -17,12 +34,36 @@ entirely — keeping the fault-free dense hot path untouched.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.local.engine import CSREngine
-from repro.scenarios.base import BoundPerturbation
+from repro.scenarios.base import BoundPerturbation, quiet_after
 
-__all__ = ["DenseFaults"]
+__all__ = ["SlotLayout", "DenseFaults"]
+
+
+class SlotLayout:
+    """Per-engine CSR slot coordinates shared by every :class:`DenseFaults`.
+
+    ``out_sender[k]`` / ``out_port[k]`` read slot ``k`` as an *outgoing*
+    message (sender = slot owner); ``partner[k]`` is the CSR slot on the
+    other endpoint of slot ``k``'s edge, so a gather through it converts an
+    outgoing mask into the receiving-side view.  Building these is O(m);
+    cache one per engine (the scenario runner does) so mask setup
+    amortizes across trial seeds.
+    """
+
+    def __init__(self, engine: CSREngine):
+        import numpy as np
+
+        offsets, dst_node, dst_port = engine.dense_arrays()
+        n = engine.n
+        self.n = n
+        self.out_sender = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+        self.out_port = (
+            np.arange(offsets[-1], dtype=np.int64) - offsets[:-1][self.out_sender]
+        )
+        self.partner = offsets[:-1][dst_node] + dst_port
 
 
 class DenseFaults:
@@ -31,71 +72,145 @@ class DenseFaults:
     ``crashed_at(r)`` — nodes crashing at the start of round ``r`` (or
     ``None``); ``delivered_out(r)`` — per-slot mask of the slot as an
     *outgoing* message (sender = slot owner); ``delivered_in(r)`` — per-slot
-    mask of the slot as the *receiving* side (sender = the CSR destination,
-    i.e. ``delivered_in[k] == delivered_out[partner(k)]``).
+    mask of the slot as the *receiving* side, computed as the partner-gather
+    of ``delivered_out(r)``.  ``expired(r)`` tells a kernel the stack can
+    never inject from round ``r`` on, so its loop may drop the faults
+    object entirely.
+
+    Pass a cached :class:`SlotLayout` to amortize the O(m) coordinate
+    build across seeds; the fault schedule itself comes from ``bound``
+    (whose fault mode was fixed at
+    :func:`~repro.scenarios.base.bind_all` time).
     """
 
-    def __init__(self, engine: CSREngine, bound: Sequence[BoundPerturbation]):
+    #: FIFO cap on cached per-round masks (never-settling stacks only need
+    #: a window of recent rounds: kernels query round r and r+1, plus
+    #: retries of the same round).
+    CACHE_MAX = 32
+
+    def __init__(
+        self,
+        engine: CSREngine,
+        bound: Sequence[BoundPerturbation],
+        layout: Optional[SlotLayout] = None,
+    ):
         import numpy as np
 
         self._np = np
         self.bound = tuple(bound)
-        offsets, dst_node, dst_port = engine.dense_arrays()
-        n = engine.n
-        self.n = n
-        self._out_sender = np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
-        self._out_port = (
-            np.arange(offsets[-1], dtype=np.int64) - offsets[:-1][self._out_sender]
-        )
-        self._in_sender = dst_node
-        self._in_port = dst_port
+        self.layout = layout if layout is not None else SlotLayout(engine)
+        self.n = self.layout.n
         self._crashing = any(b.crashes_nodes for b in self.bound)
         self._droppers = tuple(b for b in self.bound if b.drops_messages)
+        #: Last round at which the stack can still change its schedule;
+        #: ``None`` for never-settling stacks.
+        self.quiet = quiet_after(self.bound)
         # Decisions are pure per round, so repeated queries (retry loops,
-        # multi-phase kernels) reuse the slot sweep instead of redoing it.
+        # multi-phase kernels) reuse the mask instead of rebuilding it.
         self._cache: dict = {}
+
+    def expired(self, round_no: int) -> bool:
+        """True when no fault can occur at any round >= ``round_no``.
+
+        Requires a settling stack whose steady state is fault-free: past
+        the quiet horizon nothing crashes and everything is delivered, so
+        kernels may stop consulting the masks entirely.
+        """
+        if self.quiet is None or round_no <= self.quiet:
+            return False
+        return self._steady("crash") is None and self._steady("out") is None
+
+    def _steady(self, kind: str):
+        """The constant mask for rounds past the quiet horizon.
+
+        Pure decisions + the ``quiet_after`` contract make the schedule
+        round-invariant past the horizon, so one build (at ``quiet + 1``)
+        serves every later round — all-deliver stacks collapse to ``None``,
+        persistent deletions to their frozen mask.
+        """
+        key = ("steady", kind)
+        if key not in self._cache:
+            self._cache[key] = self._build(kind, self.quiet + 1)
+        return self._cache[key]
+
+    def _lookup(self, kind: str, round_no: int):
+        if self.quiet is not None and round_no > self.quiet:
+            return self._steady(kind)
+        key = (kind, round_no)
+        if key not in self._cache:
+            # Build before the eviction check: an "in" build re-enters
+            # _lookup for its "out" mask, so evicting first would let the
+            # nested insert push the cache one past the cap.
+            value = self._build(kind, round_no)
+            if len(self._cache) >= self.CACHE_MAX:
+                # FIFO eviction; steady entries are re-derivable, and
+                # rounds mostly advance, so dropping the oldest is safe.
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = value
+        return self._cache[key]
+
+    def _build(self, kind: str, round_no: int):
+        if kind == "crash":
+            return self._build_crash(round_no)
+        if kind == "out":
+            return self._build_out(round_no)
+        out = self._lookup("out", round_no)
+        return None if out is None else out[self.layout.partner]
+
+    def _build_crash(self, round_no: int):
+        np = self._np
+        mask = None
+        for b in self.bound:
+            part = b.crashes_mask(round_no, self.n)
+            if part is NotImplemented:
+                victims = list(b.crashes(round_no))
+                if not victims:
+                    continue
+                part = np.zeros(self.n, dtype=bool)
+                part[victims] = True
+            if part is None:
+                continue
+            mask = part if mask is None else (mask | part)
+        return mask
+
+    def _build_out(self, round_no: int):
+        senders = self.layout.out_sender
+        ports = self.layout.out_port
+        mask = None
+        for b in self._droppers:
+            part = b.delivers_mask(round_no, senders, ports)
+            if part is NotImplemented:
+                part = self._scalar_sweep(b, round_no, senders, ports)
+            if part is None:
+                continue
+            mask = part if mask is None else (mask & part)
+        return mask
+
+    def _scalar_sweep(self, b, round_no: int, senders, ports):
+        """O(m) fallback over the pure scalar decision (third-party
+        perturbations without a vectorized path)."""
+        np = self._np
+        out = np.ones(senders.shape[0], dtype=bool)
+        delivers = b.delivers
+        for k in range(senders.shape[0]):
+            if not delivers(round_no, int(senders[k]), int(ports[k])):
+                out[k] = False
+        return out
 
     def crashed_at(self, round_no: int):
         """Bool node mask of crashes scheduled at ``round_no``, or None."""
         if not self._crashing:
             return None
-        key = ("crash", round_no)
-        if key in self._cache:
-            return self._cache[key]
-        np = self._np
-        mask = np.zeros(self.n, dtype=bool)
-        hit = False
-        for b in self.bound:
-            victims = list(b.crashes(round_no))
-            if victims:
-                mask[victims] = True
-                hit = True
-        result = mask if hit else None
-        self._cache[key] = result
-        return result
-
-    def _delivered(self, kind: str, round_no: int, senders, ports):
-        if not self._droppers:
-            return None
-        key = (kind, round_no)
-        if key in self._cache:
-            return self._cache[key]
-        np = self._np
-        out = np.ones(senders.shape[0], dtype=bool)
-        for k in range(senders.shape[0]):
-            sender = int(senders[k])
-            port = int(ports[k])
-            for b in self._droppers:
-                if not b.delivers(round_no, sender, port):
-                    out[k] = False
-                    break
-        self._cache[key] = out
-        return out
+        return self._lookup("crash", round_no)
 
     def delivered_out(self, round_no: int):
         """Per-slot delivery mask, slot read as an outgoing message."""
-        return self._delivered("out", round_no, self._out_sender, self._out_port)
+        if not self._droppers:
+            return None
+        return self._lookup("out", round_no)
 
     def delivered_in(self, round_no: int):
         """Per-slot delivery mask, slot read as the receiving side."""
-        return self._delivered("in", round_no, self._in_sender, self._in_port)
+        if not self._droppers:
+            return None
+        return self._lookup("in", round_no)

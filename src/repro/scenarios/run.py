@@ -19,7 +19,17 @@ runner (:mod:`repro.exp`) records straight into the BENCH json:
 
 Fault coins and node coins both derive from the trial ``seed`` but under
 disjoint salt namespaces, so one seed axis drives the whole trial
-reproducibly (see :func:`~repro.scenarios.base.fault_u01`).
+reproducibly (see :func:`~repro.scenarios.base.fault_u01`).  The
+``fault_mode`` knob selects the coin kernel — ``"replay"`` (historical,
+bit-identity tested) or ``"mask"`` (counter-based, vectorized — the
+performance mode for large-n dense sweeps); within either mode all
+backends agree on the schedule.
+
+Scenario cells are amortized like the :func:`~repro.exp.workloads.scenario_engine`
+cache: the built graph, packed engine and dense slot layout for one
+``(scenario, n, degree, graph_seed)`` cell are cached per process and
+reused across trial seeds — only the seeds drive coins and fault
+schedules, so packing and mask setup are paid once per cell.
 """
 
 from __future__ import annotations
@@ -61,6 +71,46 @@ def _scenario_adjacency(sc: Scenario, n: int, degree: int, graph_seed: int):
     return random_sparse_graph(n, float(degree), seed=graph_seed)
 
 
+# Per-process cell cache: built network + packed engine + dense slot layout
+# for one (scenario, n, degree, graph_seed) cell, reused across trial seeds
+# (the seeds drive coins and fault schedules, never the topology).  Keyed by
+# the Scenario object itself — registered scenarios are module singletons,
+# ad-hoc ones simply miss.  Small FIFO cap: a sweep touches a handful of
+# cells per worker.
+_CELL_CACHE: dict = {}
+_CELL_CACHE_MAX = 4
+
+
+def _scenario_cell(sc: Scenario, n: int, degree: int, graph_seed: int, backend: str):
+    """``(network, engine, layout, setup_seconds)`` for one scenario cell.
+
+    ``setup_seconds`` is the graph build + rewrite + packing time paid by
+    *this* call (0.0 on a full cache hit); ``engine`` is ``None`` for the
+    reference backend, ``layout`` (a :class:`~repro.scenarios.masks.SlotLayout`)
+    only exists for the dense backend.
+    """
+    key = (sc, int(n), int(degree), int(graph_seed))
+    cell = _CELL_CACHE.get(key)
+    setup_start = time.perf_counter()
+    if cell is None:
+        adjacency = _scenario_adjacency(sc, n, degree, graph_seed)
+        adjacency, ids = rewrite_all(sc.perturbations, adjacency)
+        cell = {"network": Network(adjacency, ids=ids), "engine": None, "layout": None}
+        if len(_CELL_CACHE) >= _CELL_CACHE_MAX:
+            _CELL_CACHE.pop(next(iter(_CELL_CACHE)))
+        _CELL_CACHE[key] = cell
+    if backend in ("engine", "dense") and cell["engine"] is None:
+        cell["engine"] = CSREngine(cell["network"])
+    if backend == "dense" and cell["layout"] is None:
+        from repro.scenarios.masks import SlotLayout
+
+        cell["engine"].dense_arrays()
+        cell["layout"] = SlotLayout(cell["engine"])
+    return cell["network"], cell["engine"], cell["layout"], (
+        time.perf_counter() - setup_start
+    )
+
+
 def run_scenario(
     scenario: Union[str, Scenario],
     n: int = 600,
@@ -72,6 +122,7 @@ def run_scenario(
     max_rounds: Optional[int] = None,
     coins: str = "philox",
     max_attempts: int = 64,
+    fault_mode: str = "replay",
 ) -> Dict[str, Any]:
     """Execute one scenario trial and return its resilience metrics.
 
@@ -79,13 +130,18 @@ def run_scenario(
     ``backend`` one of the scenario's supported executors (``reference`` —
     hooked :func:`run_local`, ``engine`` — hooked :class:`CSREngine`,
     ``dense`` — masked numpy kernels; ``coins`` selects the dense coin
-    table, ``"replay"`` for engine-bit-identical runs).  ``adjacency``
-    overrides the default scenario graph (the perturbation stack's graph
-    rewrites are still applied on top).  ``seed`` drives both the
-    algorithm's coins and the fault schedule; ``graph_seed`` only the
-    topology.  ``max_rounds`` defaults per pipeline: 10_000 (luby), 400
-    (sinkless — every round pays an O(n + m) probe, and a run that has not
-    recovered by then is recorded as incomplete, which is data).
+    table, ``"replay"`` for engine-bit-identical runs).  ``fault_mode``
+    selects the fault-coin kernel: ``"replay"`` reproduces the historical
+    scalar schedule exactly (the bit-identity mode), ``"mask"`` uses the
+    counter-based vectorized kernel — distribution-identical and cheap at
+    large n, still bit-identical *across backends* for one mode.
+    ``adjacency`` overrides the default scenario graph (the perturbation
+    stack's graph rewrites are still applied on top; such runs bypass the
+    cell cache).  ``seed`` drives both the algorithm's coins and the fault
+    schedule; ``graph_seed`` only the topology.  ``max_rounds`` defaults
+    per pipeline: 10_000 (luby), 400 (sinkless — every round pays an
+    O(n + m) probe, and a run that has not recovered by then is recorded
+    as incomplete, which is data).
     """
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     require(
@@ -102,25 +158,34 @@ def run_scenario(
     if max_rounds is None:
         max_rounds = 400 if sc.pipeline == "sinkless" else 10_000
 
-    setup_start = time.perf_counter()
+    layout = None
     if adjacency is None:
-        adjacency = _scenario_adjacency(sc, n, degree, graph_seed)
-    adjacency, ids = rewrite_all(sc.perturbations, adjacency)
-    network = Network(adjacency, ids=ids)
-    engine = CSREngine(network) if backend in ("engine", "dense") else None
-    setup_seconds = time.perf_counter() - setup_start
+        network, engine, layout, setup_seconds = _scenario_cell(
+            sc, n, degree, graph_seed, backend
+        )
+    else:
+        setup_start = time.perf_counter()
+        adjacency, ids = rewrite_all(sc.perturbations, adjacency)
+        network = Network(adjacency, ids=ids)
+        engine = CSREngine(network) if backend in ("engine", "dense") else None
+        setup_seconds = time.perf_counter() - setup_start
 
-    bound = bind_all(sc.perturbations, network, fault_seed=seed)
+    bound = bind_all(sc.perturbations, network, fault_seed=seed, fault_mode=fault_mode)
     quiet = quiet_after(bound)
 
     solve_start = time.perf_counter()
     if sc.pipeline == "luby":
-        metrics = _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins)
+        metrics = _run_luby(
+            sc, network, engine, bound, backend, seed, max_rounds, coins, layout
+        )
     elif sc.pipeline == "sinkless":
-        metrics = _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins)
+        metrics = _run_sinkless(
+            sc, network, engine, bound, backend, seed, max_rounds, coins, layout
+        )
     else:
         metrics = _run_splitting(
-            sc, network, engine, backend, seed, degree, coins, max_attempts
+            sc, network, engine, backend, seed, degree, coins, max_attempts,
+            fault_mode, layout,
         )
     metrics["solve_seconds"] = time.perf_counter() - solve_start
 
@@ -143,7 +208,7 @@ def run_scenario(
     return metrics
 
 
-def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins):
+def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layout=None):
     adjacency = network.adjacency
     edge_ok = final_edge_ok(bound)
     if backend == "dense":
@@ -152,7 +217,7 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins):
 
         result = luby_mis_dense(
             engine, seed=seed, coins=coins, max_rounds=max_rounds,
-            faults=DenseFaults(engine, bound),
+            faults=DenseFaults(engine, bound, layout=layout),
         )
         alive = [not c for c in result.crashed]
         mis = {int(i) for i in result.in_mis.nonzero()[0]}
@@ -186,14 +251,33 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins):
     }
 
 
-def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins):
+def _round_one_delivers_clean(b, network, layout) -> bool:
+    """Whether perturbation ``b`` delivers every round-1 message.
+
+    Uses the vectorized mask when the dense slot layout is at hand (one
+    kernel call instead of an O(m) scalar sweep); falls back to the pure
+    per-message decision otherwise.
+    """
+    if layout is not None:
+        mask = b.delivers_mask(1, layout.out_sender, layout.out_port)
+        if mask is not NotImplemented:
+            return mask is None or bool(mask.all())
+    return all(
+        b.delivers(1, s, p)
+        for s in range(network.n)
+        for p in range(len(network.adjacency[s]))
+    )
+
+
+def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
+                  layout=None):
     adjacency = network.adjacency
     min_degree = sc.min_degree
     # Fault schedules for sinkless must leave round 1 (the proposal
     # exchange) clean — the dense kernel's fault window starts at round 2,
     # so a round-1 fault would silently diverge between backends instead of
-    # degrading gracefully.  Enforce it: an O(m) sweep of the pure decision
-    # functions, turned into a loud error rather than wrong data.
+    # degrading gracefully.  Enforce it as a loud error rather than wrong
+    # data (vectorized where the slot layout exists).
     for b in bound:
         require(
             not tuple(b.crashes(1)),
@@ -201,11 +285,7 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins):
             "from round 2 on (e.g. CrashNodes(at_round=2))",
         )
         require(
-            all(
-                b.delivers(1, s, p)
-                for s in range(network.n)
-                for p in range(len(adjacency[s]))
-            ),
+            _round_one_delivers_clean(b, network, layout),
             "sinkless scenarios must leave round 1 clean: start message "
             "faults from round 2 (e.g. IIDMessageDrop(from_round=2))",
         )
@@ -216,7 +296,8 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins):
 
         result = sinkless_trial_dense(
             engine, min_degree=min_degree, seed=seed, coins=coins,
-            max_rounds=max_rounds, faults=DenseFaults(engine, bound), strict=False,
+            max_rounds=max_rounds, faults=DenseFaults(engine, bound, layout=layout),
+            strict=False,
         )
         alive = [not c for c in result.crashed]
         from repro.local.dense import dense_orientation
@@ -260,7 +341,8 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins):
     }
 
 
-def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attempts):
+def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attempts,
+                   fault_mode="replay", layout=None):
     adjacency = network.adjacency
     spec = UniformSplittingSpec(eps=sc.eps, min_constrained_degree=max(2, degree // 2))
     rng = ensure_rng(seed)
@@ -277,11 +359,13 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
         # schedule rebinds on the attempt's own seed — otherwise a lossy
         # environment would replay the identical drop pattern against all
         # retries (a frozen adversary instead of an i.i.d. channel).
-        attempt_bound = bind_all(sc.perturbations, network, fault_seed=run_seed)
+        attempt_bound = bind_all(
+            sc.perturbations, network, fault_seed=run_seed, fault_mode=fault_mode
+        )
         if backend == "dense":
             result = uniform_splitting_dense(
                 engine, spec, seed=run_seed, coins=coins,
-                faults=DenseFaults(engine, attempt_bound),
+                faults=DenseFaults(engine, attempt_bound, layout=layout),
             )
             partition = [int(c) for c in result.colors]
             alive = [not c for c in result.crashed]

@@ -1,0 +1,72 @@
+"""The append-only results store (`benchmarks/store.py`)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+from repro.exp import ExperimentSpec, run_sweep
+from repro.exp.workloads import luby_mis_workload
+
+
+def load_store():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "store.py"
+    spec = importlib.util.spec_from_file_location("bench_store", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def tiny_sweep():
+    spec = ExperimentSpec(
+        "mis/sparse@engine",
+        luby_mis_workload,
+        {"topology": "sparse", "n": 80, "degree": 4, "backend": "engine"},
+        seeds=(0, 1),
+    )
+    return run_sweep([spec], workers=0)
+
+
+class TestHistoryStore:
+    def test_rows_are_keyed_by_commit_experiment_backend_seed(self):
+        store = load_store()
+        sweep = tiny_sweep()
+        rows = store.history_rows(sweep, commit="abc123")
+        assert len(rows) == 2
+        for row, trial in zip(rows, sweep.trials):
+            assert row["commit"] == "abc123"
+            assert row["experiment"] == "mis/sparse@engine"
+            assert row["backend"] == "engine"  # parsed off the @suffix
+            assert row["seed"] == trial.seed
+            assert row["ok"] and row["error"] is None
+            assert row["metrics"]["n"] == 80
+            assert row["schema"] == store.HISTORY_SCHEMA
+
+    def test_append_is_cumulative_and_loadable(self, tmp_path):
+        store = load_store()
+        sweep = tiny_sweep()
+        path = tmp_path / "bench_history.jsonl"
+        assert store.append_history(sweep, path, commit="one") == 2
+        assert store.append_history(sweep, path, commit="two") == 2
+        rows = store.load_history(path)
+        assert [r["commit"] for r in rows] == ["one", "one", "two", "two"]
+        # every line is standalone json (concurrent appenders stay safe)
+        with path.open() as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = load_store()
+        assert store.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_commit_discovery_never_raises(self, tmp_path):
+        store = load_store()
+        assert store.current_commit(str(tmp_path)) == "unknown"  # not a repo
+        assert isinstance(store.current_commit(), str)
+
+    def test_backend_falls_back_to_params(self):
+        store = load_store()
+        sweep = tiny_sweep()
+        trial = sweep.trials[0]
+        trial.experiment = "splitting/local"
+        trial.params = {"method": "local"}
+        assert store.history_rows(sweep, commit="c")[0]["backend"] == "local"

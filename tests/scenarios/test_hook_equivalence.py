@@ -23,6 +23,7 @@ from repro.mis.luby import LubyMIS
 from repro.orientation.sinkless import TrialAndFixSinkless, sinks
 from repro.scenarios import (
     CrashNodes,
+    DropEdges,
     EdgeChurn,
     IIDMessageDrop,
     LateEdges,
@@ -54,6 +55,9 @@ def random_stack(rng):
         MuteHubs(count=rng.randrange(1, 4), until_round=rng.randrange(1, 5)),
         EdgeChurn(p_down=rng.choice([0.2, 0.5])),
         LateEdges(fraction=0.4, at_round=rng.randrange(2, 5)),
+        # Steady state != all-deliver: exercises the quiet-horizon
+        # steady-mask reuse in DenseFaults.
+        DropEdges(fraction=0.3, at_round=rng.randrange(1, 5)),
     ]
     k = rng.randrange(1, 4)
     return tuple(rng.sample(pool, k))
@@ -119,6 +123,8 @@ class TestDenseReplayUnderFaults:
     """Dense kernels fed replayed coins + fault masks == hooked engine."""
 
     def test_luby_crash_and_drop(self):
+        import numpy as np
+
         rng = random.Random(31)
         for trial in range(12):
             adj = random_multigraph(rng, rng.randrange(2, 30))
@@ -129,8 +135,18 @@ class TestDenseReplayUnderFaults:
             bound = bind_all(perts, net, fault_seed=seed)
             eng = engine.run(LubyMIS(), max_rounds=40, seed=seed,
                              hooks=PerturbationHooks(bound))
+            faults = DenseFaults(engine, bound)
+            # delivered_in is defined as the partner-gather of
+            # delivered_out: both sides of a slot name the same message.
+            for round_no in (1, 2, 3, eng.rounds or 1):
+                out = faults.delivered_out(round_no)
+                din = faults.delivered_in(round_no)
+                if out is None:
+                    assert din is None
+                else:
+                    assert np.array_equal(din, out[faults.layout.partner])
             dense = luby_mis_dense(engine, seed=seed, coins="replay",
-                                   max_rounds=40, faults=DenseFaults(engine, bound))
+                                   max_rounds=40, faults=faults)
             assert dense.rounds == eng.rounds
             assert dense.completed == eng.completed
             assert [bool(x) for x in dense.in_mis] == [

@@ -1,0 +1,314 @@
+"""Property tests for the vectorized fault-mask kernels.
+
+Three layers of guarantees:
+
+* **coin kernels** — ``fault_u01_array(mode="replay")`` reproduces the
+  scalar :func:`fault_u01` values exactly, and ``mode="mask"`` matches the
+  scalar :func:`fault_u01_mix` chain bit-for-bit (scalar and vectorized
+  executors may interleave decisions in any order);
+* **mask surface** — for every registered scenario and both fault modes,
+  the :class:`DenseFaults` masks equal a per-slot scalar sweep of the pure
+  ``delivers`` / ``crashes`` decisions (in replay mode that pins the
+  historical schedule the hook-equivalence tests compare against), and
+  ``delivered_in`` is the partner-gather of ``delivered_out``;
+* **lifecycle** — rounds past the quiet horizon reuse one steady-state
+  mask (persistent deletions stay down, healed stacks return ``None``),
+  never-settling stacks keep a bounded cache, and in mask fault mode the
+  hooked engine and the replay-coin dense kernel still agree bit-for-bit
+  because scalar and vectorized decisions share one mixing chain.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.local import CSREngine, Network
+from repro.local.dense import luby_mis_dense
+from repro.mis.luby import LubyMIS
+from repro.scenarios import (
+    CrashNodes,
+    DropEdges,
+    IIDMessageDrop,
+    MuteHubs,
+    PerturbationHooks,
+    all_scenarios,
+    bind_all,
+    fault_u01,
+    fault_u01_array,
+    fault_u01_mix,
+    rewrite_all,
+    run_scenario,
+)
+from repro.scenarios.masks import DenseFaults, SlotLayout
+
+
+def small_graph(seed, n=24, edges=70):
+    rng = random.Random(seed)
+    adj = [[] for _ in range(n)]
+    for _ in range(edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            adj[u].append(v)
+            adj[v].append(u)
+    return adj
+
+
+class TestCoinKernels:
+    def test_replay_mode_reproduces_scalar_fault_u01(self):
+        ids = list(range(40)) + ["7:9:0", "2:11:1"]  # int and string entities
+        got = fault_u01_array(13, "drop", ids, 5, mode="replay")
+        expect = [fault_u01(13, "drop", e, 5) for e in ids]
+        assert got.tolist() == expect
+
+    def test_mask_mode_matches_scalar_mix_chain(self):
+        ent = np.arange(500, dtype=np.int64) * 7919
+        ports = np.arange(500, dtype=np.int64) % 11
+        got = fault_u01_array(99, "churn", ent, ports, 3, mode="mask")
+        expect = [
+            fault_u01_mix(99, "churn", int(e), int(p), 3)
+            for e, p in zip(ent, ports)
+        ]
+        assert got.tolist() == expect
+
+    def test_mask_coins_are_keyed_uniforms(self):
+        ent = np.arange(20_000, dtype=np.int64)
+        u = fault_u01_array(1, "drop", ent, 1, mode="mask")
+        assert float(u.min()) >= 0.0 and float(u.max()) < 1.0
+        assert abs(float(u.mean()) - 0.5) < 0.02  # 3.5 sigma at n=20k
+        # Distinct along every key axis, identical on repetition.
+        v = fault_u01_array(1, "drop", ent, 2, mode="mask")
+        w = fault_u01_array(2, "drop", ent, 1, mode="mask")
+        x = fault_u01_array(1, "late", ent, 1, mode="mask")
+        assert (u != v).mean() > 0.99
+        assert (u != w).mean() > 0.99
+        assert (u != x).mean() > 0.99
+        assert np.array_equal(u, fault_u01_array(1, "drop", ent, 1, mode="mask"))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            fault_u01_array(1, "drop", np.arange(3), mode="philox")
+        with pytest.raises(ValueError, match="fault_mode"):
+            bind_all((IIDMessageDrop(),), Network([[1], [0]]), 0, fault_mode="x")
+
+
+def scalar_delivered(bound, layout, round_no):
+    return np.array(
+        [
+            all(b.delivers(round_no, int(s), int(p)) for b in bound)
+            for s, p in zip(layout.out_sender, layout.out_port)
+        ],
+        dtype=bool,
+    )
+
+
+def scalar_crashed(bound, n, round_no):
+    mask = np.zeros(n, dtype=bool)
+    for b in bound:
+        mask[list(b.crashes(round_no))] = True
+    return mask
+
+
+class TestMasksMatchScalarDecisions:
+    """DenseFaults masks == the per-slot scalar sweep, per scenario x mode."""
+
+    @pytest.mark.parametrize("sc", all_scenarios(), ids=lambda s: s.name)
+    @pytest.mark.parametrize("fault_mode", ["replay", "mask"])
+    def test_registered_scenario_masks(self, sc, fault_mode):
+        adjacency, ids = rewrite_all(sc.perturbations, small_graph(hash(sc.name) % 997))
+        net = Network(adjacency, ids=ids)
+        engine = CSREngine(net)
+        layout = SlotLayout(engine)
+        bound = bind_all(sc.perturbations, net, fault_seed=42, fault_mode=fault_mode)
+        faults = DenseFaults(engine, bound, layout=layout)
+        for round_no in (1, 2, 3, 4, 5, 9, 40):
+            out = faults.delivered_out(round_no)
+            got = out if out is not None else np.ones(layout.out_sender.shape[0], bool)
+            assert np.array_equal(got, scalar_delivered(bound, layout, round_no)), (
+                sc.name, fault_mode, round_no,
+            )
+            din = faults.delivered_in(round_no)
+            if out is None:
+                assert din is None
+            else:
+                assert np.array_equal(din, out[layout.partner])
+            crash = faults.crashed_at(round_no)
+            got_crash = crash if crash is not None else np.zeros(net.n, bool)
+            assert np.array_equal(got_crash, scalar_crashed(bound, net.n, round_no))
+
+    def test_scalar_fallback_for_unvectorized_perturbations(self):
+        from repro.scenarios.base import BoundPerturbation, Perturbation
+
+        class OddSlotDrop(Perturbation):
+            def bind(self, network, fault_seed, fault_mode="replay"):
+                b = BoundPerturbation()
+                b.drops_messages = True
+                b.quiet_after = None
+                b.delivers = lambda r, s, p: (s + p + r) % 2 == 0
+                return b
+
+        adj = small_graph(3)
+        net = Network(adj)
+        engine = CSREngine(net)
+        layout = SlotLayout(engine)
+        bound = bind_all((OddSlotDrop(),), net, fault_seed=0)
+        faults = DenseFaults(engine, bound, layout=layout)
+        for r in (1, 2):
+            assert np.array_equal(
+                faults.delivered_out(r), scalar_delivered(bound, layout, r)
+            )
+
+
+class TestQuietHorizon:
+    def test_steady_state_masks_are_reused_not_rebuilt(self):
+        adj = small_graph(5)
+        net = Network(adj)
+        engine = CSREngine(net)
+        for fault_mode in ("replay", "mask"):
+            bound = bind_all(
+                (CrashNodes(0.2, at_round=2), DropEdges(0.3, at_round=3)),
+                net, fault_seed=7, fault_mode=fault_mode,
+            )
+            faults = DenseFaults(engine, bound)
+            assert faults.quiet == 3
+            layout = faults.layout
+            # Deletions persist: the steady mask equals the scalar schedule
+            # at any later round, and the stack never "expires".
+            steady = faults.delivered_out(1000)
+            assert np.array_equal(steady, scalar_delivered(bound, layout, 1000))
+            assert steady is faults.delivered_out(2000)  # one build, reused
+            assert not faults.expired(100)
+            faults.delivered_in(500)
+            faults.crashed_at(500)
+            size = len(faults._cache)
+            for r in range(10, 400, 13):
+                faults.delivered_out(r)
+                faults.delivered_in(r)
+                faults.crashed_at(r)
+            assert len(faults._cache) == size
+
+    def test_healed_stack_expires(self):
+        adj = small_graph(6)
+        net = Network(adj)
+        engine = CSREngine(net)
+        bound = bind_all(
+            (MuteHubs(2, until_round=4), CrashNodes(0.2, at_round=2)), net, 3
+        )
+        faults = DenseFaults(engine, bound)
+        assert not faults.expired(4)
+        assert faults.expired(5)
+        assert faults.delivered_out(7) is None
+        assert faults.delivered_in(7) is None
+        assert faults.crashed_at(7) is None
+
+    def test_never_settling_stack_has_bounded_cache(self):
+        adj = small_graph(7)
+        net = Network(adj)
+        engine = CSREngine(net)
+        bound = bind_all((IIDMessageDrop(0.2),), net, 3)
+        faults = DenseFaults(engine, bound)
+        assert faults.quiet is None
+        for r in range(1, 5 * DenseFaults.CACHE_MAX):
+            # "in" first: its build re-enters the cache for the "out" mask,
+            # the order that can overshoot a naive evict-before-build cap.
+            faults.delivered_in(r)
+            faults.delivered_out(r)
+            assert len(faults._cache) <= DenseFaults.CACHE_MAX
+
+    def test_luby_recovery_tail_stops_consulting_masks(self):
+        adj = small_graph(8)
+        engine = CSREngine(Network(adj))
+        bound = bind_all((MuteHubs(2, until_round=2),), engine.network, 1)
+
+        class Counting(DenseFaults):
+            calls = 0
+
+            def delivered_out(self, round_no):
+                Counting.calls += 1
+                return super().delivered_out(round_no)
+
+        faults = Counting(engine, bound)
+        result = luby_mis_dense(engine, seed=1, coins="replay", faults=faults)
+        assert result.completed
+        # Only rounds 1..quiet+1 may query masks; the tail pays nothing.
+        assert Counting.calls <= 2 * (faults.quiet + 1)
+
+
+class TestMaskModeBackendAgreement:
+    """One fault mode => one schedule, bit-identical across executors."""
+
+    def test_hooked_engine_matches_dense_replay_coins_in_mask_mode(self):
+        rng = random.Random(11)
+        for trial in range(8):
+            adj = small_graph(rng.randrange(10_000), n=rng.randrange(4, 28))
+            net = Network(adj)
+            engine = CSREngine(net)
+            seed = rng.randrange(10_000)
+            perts = (
+                CrashNodes(0.2, at_round=rng.randrange(1, 4)),
+                IIDMessageDrop(0.3),
+            )
+            bound = bind_all(perts, net, fault_seed=seed, fault_mode="mask")
+            eng = engine.run(LubyMIS(), max_rounds=40, seed=seed,
+                             hooks=PerturbationHooks(bound))
+            dense = luby_mis_dense(engine, seed=seed, coins="replay",
+                                   max_rounds=40, faults=DenseFaults(engine, bound))
+            assert dense.rounds == eng.rounds
+            assert [bool(x) for x in dense.in_mis] == [
+                bool(v.state.get("in_mis")) for v in eng.views
+            ]
+            assert [bool(x) for x in dense.crashed] == [
+                bool(v.state.get("crashed")) for v in eng.views
+            ]
+
+    def test_run_scenario_mask_mode_engine_matches_dense(self):
+        for name in ("luby/crash", "luby/drop-iid", "luby/edge-deletion"):
+            eng = run_scenario(name, n=150, seed=4, backend="engine",
+                               fault_mode="mask")
+            dense = run_scenario(name, n=150, seed=4, backend="dense",
+                                 coins="replay", fault_mode="mask")
+            for key in ("rounds", "completed", "violations", "survivors", "mis_size"):
+                if key in eng:
+                    assert dense[key] == eng[key], (name, key)
+
+    def test_mask_and_replay_modes_differ_but_same_distribution_family(self):
+        # Same scenario, same seed: the two modes draw different drop
+        # schedules (counter-based vs sha512 streams) yet both are valid
+        # runs with full metric channels.
+        a = run_scenario("luby/drop-iid", n=200, seed=9, fault_mode="replay")
+        b = run_scenario("luby/drop-iid", n=200, seed=9, fault_mode="mask")
+        assert a["n"] == b["n"] and a["m"] == b["m"]
+        assert a["completed"] == 1 and b["completed"] == 1
+
+
+class TestScenarioCellCache:
+    def test_cells_are_reused_across_trial_seeds(self):
+        from repro.scenarios import run as run_mod
+
+        run_mod._CELL_CACHE.clear()
+        a = run_scenario("luby/crash", n=180, seed=0, backend="dense")
+        assert len(run_mod._CELL_CACHE) == 1
+        cell = next(iter(run_mod._CELL_CACHE.values()))
+        engine = cell["engine"]
+        layout = cell["layout"]
+        b = run_scenario("luby/crash", n=180, seed=1, backend="dense")
+        assert next(iter(run_mod._CELL_CACHE.values()))["engine"] is engine
+        assert next(iter(run_mod._CELL_CACHE.values()))["layout"] is layout
+        assert a["n"] == b["n"] and a["m"] == b["m"]
+        # Different trial seeds still draw different schedules/coins.
+        run_mod._CELL_CACHE.clear()
+
+    def test_cache_is_bounded_and_adjacency_runs_bypass_it(self):
+        from repro.scenarios import Scenario
+        from repro.scenarios import run as run_mod
+
+        run_mod._CELL_CACHE.clear()
+        for n in (60, 80, 100, 120, 140, 160):
+            run_scenario("luby/crash", n=n, seed=0, backend="engine")
+        assert len(run_mod._CELL_CACHE) <= run_mod._CELL_CACHE_MAX
+        before = dict(run_mod._CELL_CACHE)
+        sc = Scenario(name="adhoc/bypass", pipeline="luby",
+                      perturbations=(CrashNodes(0.3, at_round=1),))
+        run_scenario(sc, adjacency=[[1], [0], []], seed=0)
+        assert dict(run_mod._CELL_CACHE) == before
+        run_mod._CELL_CACHE.clear()

@@ -231,5 +231,12 @@ class TestExpIntegration:
         explicit = mod.build_scenario_specs(False, 3, "luby/crash", ("engine",))
         assert [c.name for c in explicit] == ["scenario/luby/crash@engine"]
         assert explicit[0].seeds == (0, 1, 2)
+        assert explicit[0].params["fault_mode"] == "replay"  # default knob
+        masked = mod.build_scenario_specs(True, 1, "luby/crash", ("dense",),
+                                          fault_mode="mask")
+        assert masked[0].params["fault_mode"] == "mask"
         with pytest.raises(ValueError):
             mod.build_scenario_specs(True, 1, "luby/typo", ("engine",))
+        with pytest.raises(ValueError, match="fault mode"):
+            mod.build_scenario_specs(True, 1, "luby/crash", ("engine",),
+                                     fault_mode="philox")
