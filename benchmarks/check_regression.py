@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the bench history.
+
+``bench_history.jsonl`` records every sweep trial across commits; this
+script makes CI actually *read* it: the current run's ``BENCH_ci*.json``
+artifacts are compared, per ``(experiment, backend)`` cell, against the
+most recent other commit's rows in the history (the cached main-branch
+baseline), and the check fails when a cell's median ``solve_seconds`` or
+``setup_seconds`` regressed by more than the threshold::
+
+    python benchmarks/check_regression.py                      # defaults
+    python benchmarks/check_regression.py --current 'BENCH_ci*.json' \
+        --history bench_history.jsonl --threshold 0.30
+
+Exit codes: 0 — no regression (including "no baseline yet": the first run
+on a fresh cache must pass so the gate can bootstrap); 1 — at least one
+cell regressed.  CI runs this warn-only on pull requests
+(``continue-on-error``) and hard-fails on main, where the freshly
+appended rows then become the next baseline via ``actions/cache``.
+
+Cells whose baseline median sits below the noise floor (``--min-seconds``)
+are reported but never failed: on 1-CPU shared runners a 2 ms cell can
+"regress" 3x on scheduler jitter alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import importlib.util
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _load_store():
+    """The sibling ``store.py`` module (benchmarks/ is not a package)."""
+    path = Path(__file__).resolve().parent / "store.py"
+    spec = importlib.util.spec_from_file_location("bench_store", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _backend_of(experiment: str, params: Dict[str, Any]) -> str:
+    """Backend axis of one trial row (mirrors ``store._backend_of``)."""
+    if "@" in experiment:
+        return experiment.rsplit("@", 1)[1]
+    params = params or {}
+    return str(params.get("backend") or params.get("method") or "")
+
+
+def current_cells(paths: List[str]) -> Dict[Tuple[str, str], Dict[str, List[float]]]:
+    """Per-(experiment, backend) timing samples from the current BENCH jsons."""
+    cells: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
+    for path in paths:
+        with open(path) as fh:
+            data = json.load(fh)
+        for trial in data.get("trials", []):
+            if trial.get("error") is not None:
+                continue
+            key = (trial["experiment"], _backend_of(trial["experiment"], trial.get("params")))
+            cell = cells.setdefault(key, {"solve_seconds": [], "setup_seconds": []})
+            solve = (trial.get("metrics") or {}).get("solve_seconds")
+            if isinstance(solve, (int, float)):
+                cell["solve_seconds"].append(float(solve))
+            setup = trial.get("setup_seconds")
+            if isinstance(setup, (int, float)):
+                cell["setup_seconds"].append(float(setup))
+    return cells
+
+
+def baseline_samples(rows: List[Dict[str, Any]]) -> Dict[str, List[float]]:
+    """Timing samples of one cell's baseline rows (history schema v1 or v2)."""
+    out: Dict[str, List[float]] = {"solve_seconds": [], "setup_seconds": []}
+    for row in rows:
+        solve = (row.get("metrics") or {}).get("solve_seconds")
+        if isinstance(solve, (int, float)):
+            out["solve_seconds"].append(float(solve))
+        setup = row.get("setup_seconds")  # absent in schema-1 rows
+        if isinstance(setup, (int, float)):
+            out["setup_seconds"].append(float(setup))
+    return out
+
+
+def check(args) -> int:
+    store = _load_store()
+    paths = sorted(p for pattern in args.current for p in glob.glob(pattern))
+    if not paths:
+        print(f"no current BENCH files match {args.current!r}; nothing to check")
+        return 0
+    history = store.load_history(args.history)
+    if not history:
+        print(f"no history at {args.history}; baseline will seed from this run")
+        return 0
+    commit = store.current_commit()
+    cells = current_cells(paths)
+
+    regressions = []
+    width = max((len(f"{e} [{b}]") for e, b in cells), default=10) + 2
+    print(f"{'cell':<{width}} {'metric':<14} {'baseline':>10} {'current':>10} {'delta':>8}")
+    for (experiment, backend) in sorted(cells):
+        base_rows = store.latest_baseline(
+            history, experiment, backend, exclude_commit=commit
+        )
+        if not base_rows:
+            print(f"{f'{experiment} [{backend}]':<{width}} {'-':<14} {'(no baseline)':>10}")
+            continue
+        base = baseline_samples(base_rows)
+        for metric in ("solve_seconds", "setup_seconds"):
+            cur_vals = cells[(experiment, backend)][metric]
+            base_vals = base[metric]
+            if not cur_vals or not base_vals:
+                continue
+            cur = statistics.median(cur_vals)
+            ref = statistics.median(base_vals)
+            delta = (cur - ref) / ref if ref > 0 else 0.0
+            flag = ""
+            if delta > args.threshold and ref >= args.min_seconds:
+                regressions.append((experiment, backend, metric, ref, cur, delta))
+                flag = "  << REGRESSION"
+            elif delta > args.threshold:
+                flag = "  (below noise floor, ignored)"
+            print(
+                f"{f'{experiment} [{backend}]':<{width}} {metric:<14} "
+                f"{ref:>10.4f} {cur:>10.4f} {delta:>+7.0%}{flag}"
+            )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} cell metric(s) regressed more than "
+            f"{args.threshold:.0%} vs the latest baseline commit:",
+            file=sys.stderr,
+        )
+        for experiment, backend, metric, ref, cur, delta in regressions:
+            print(
+                f"  {experiment} [{backend}] {metric}: "
+                f"{ref:.4f}s -> {cur:.4f}s ({delta:+.0%})",
+                file=sys.stderr,
+            )
+        return 1
+    print("\nno perf regressions vs the latest baseline commit")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--history", default="bench_history.jsonl",
+                        help="jsonl results store holding the baseline rows")
+    parser.add_argument("--current", nargs="*", default=["BENCH_ci*.json"],
+                        metavar="GLOB",
+                        help="glob(s) of the current run's BENCH json artifacts")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="max allowed median slowdown (0.30 = +30%%)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="ignore cells whose baseline median is below "
+                        "this noise floor (1-CPU runner jitter)")
+    return check(parser.parse_args())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,31 +47,43 @@ if str(_SRC) not in sys.path:
 from repro.exp import ExperimentSpec, run_sweep  # noqa: E402
 from repro.exp.workloads import (  # noqa: E402
     engine_throughput_workload,
+    luby_mis_batch_workload,
     luby_mis_workload,
     scenario_workload,
+    sinkless_batch_workload,
     sinkless_workload,
+    splitting_batch_workload,
     splitting_workload,
 )
 
 
-def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense")):
+def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense"),
+                trial_batch: int = 32):
     """The sweep suite: every workload across topologies x backends.
 
     ``backends`` selects the execution-backend axis for the algorithm
-    workloads (``reference`` / ``engine`` / ``dense``); the
-    ``engine/throughput`` cell always measures all three side by side.
+    workloads (``reference`` / ``engine`` / ``dense`` /
+    ``dense-batched``); the ``engine/throughput`` cell always measures the
+    first three side by side.  ``dense-batched`` cells chunk their seeds
+    into groups of ``trial_batch`` and solve each chunk in one batched
+    kernel call (see :class:`repro.exp.runner.ExperimentSpec.batch_fn`).
     Scenario graphs are fixed per cell (trial seeds drive the coins), so
     every backend and every seed of a cell reuses one packed engine.
     """
     seeds = tuple(range(num_seeds))
     scale = 1 if quick else 4
     mis_n = 2_000 * scale
+
     specs = [
         ExperimentSpec(
             f"mis/{topology}@{backend}",
             luby_mis_workload,
-            {"topology": topology, "n": mis_n, "degree": 12, "backend": backend},
+            {"topology": topology, "n": mis_n, "degree": 12}
+            if backend == "dense-batched"
+            else {"topology": topology, "n": mis_n, "degree": 12, "backend": backend},
             seeds=seeds,
+            batch_fn=luby_mis_batch_workload if backend == "dense-batched" else None,
+            trial_batch=trial_batch,
         )
         for topology in ("sparse", "regular", "torus", "powerlaw")
         for backend in backends
@@ -80,21 +92,31 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense")):
         ExperimentSpec(
             f"sinkless/{topology}@{backend}",
             sinkless_workload,
-            {"topology": topology, "n": 1_000 * scale, "degree": 4, "backend": backend},
+            {"topology": topology, "n": 1_000 * scale, "degree": 4}
+            if backend == "dense-batched"
+            else {"topology": topology, "n": 1_000 * scale, "degree": 4,
+                  "backend": backend},
             seeds=seeds,
+            batch_fn=sinkless_batch_workload if backend == "dense-batched" else None,
+            trial_batch=trial_batch,
         )
         for topology in ("regular", "torus")
         for backend in backends
         if backend != "reference"  # sinkless has no reference-mode driver
     ]
+    methods = ["local", "dense", "random"]
+    if "dense-batched" in backends:
+        methods.append("dense-batched")
     specs += [
         ExperimentSpec(
             f"splitting/{method}",
             splitting_workload,
             {"topology": "sparse", "n": 500 * scale, "degree": 48, "method": method},
             seeds=seeds,
+            batch_fn=splitting_batch_workload if method == "dense-batched" else None,
+            trial_batch=trial_batch,
         )
-        for method in ("local", "dense", "random")
+        for method in methods
     ]
     specs.append(
         ExperimentSpec(
@@ -201,7 +223,8 @@ def _load_store():
 
 def run_sweeps(args) -> int:
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
-    specs = build_specs(args.quick, args.seeds, backends=backends)
+    specs = build_specs(args.quick, args.seeds, backends=backends,
+                        trial_batch=args.trial_batch)
     if args.scenarios is not None:
         specs += build_scenario_specs(
             args.quick, args.seeds, args.scenarios, backends, args.fault_mode
@@ -312,7 +335,12 @@ def main() -> int:
                         help="pool size (0 = inline, default = cpu count)")
     parser.add_argument("--backends", default="engine,dense",
                         help="comma-separated execution backends for the "
-                        "algorithm workloads (reference,engine,dense)")
+                        "algorithm workloads "
+                        "(reference,engine,dense,dense-batched)")
+    parser.add_argument("--trial-batch", type=positive_int, default=32,
+                        metavar="K",
+                        help="seeds per kernel call for dense-batched cells "
+                        "(default 32)")
     parser.add_argument("--scenarios", nargs="?", const="all", default=None,
                         metavar="NAMES",
                         help="also sweep fault/adversary scenarios: 'all' or "

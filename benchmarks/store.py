@@ -20,14 +20,23 @@ from __future__ import annotations
 
 import json
 import subprocess
+import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-__all__ = ["current_commit", "history_rows", "append_history", "load_history"]
+__all__ = [
+    "current_commit",
+    "history_rows",
+    "append_history",
+    "load_history",
+    "latest_baseline",
+]
 
-#: Schema version of one history row.
-HISTORY_SCHEMA = 1
+#: Schema version of one history row.  v2 added ``setup_seconds`` (the
+#: amortized one-off scenario setup each trial paid); v1 rows load fine —
+#: readers treat the key as 0.0 when absent.
+HISTORY_SCHEMA = 2
 
 
 def current_commit(cwd: Optional[str] = None) -> str:
@@ -71,6 +80,7 @@ def history_rows(sweep, commit: Optional[str] = None) -> List[Dict[str, Any]]:
             "ok": t.ok,
             "error": t.error,
             "elapsed": t.elapsed,
+            "setup_seconds": t.setup_seconds,
             "written_at": written_at,
             "params": t.params,
             "metrics": t.metrics,
@@ -89,21 +99,76 @@ def append_history(sweep, path, commit: Optional[str] = None) -> int:
     """
     rows = history_rows(sweep, commit=commit)
     path = Path(path)
+    # A crash-interrupted append can leave a truncated trailing line with
+    # no newline; sealing it off before writing keeps the new rows parseable
+    # (the torn fragment itself is skipped, with a warning, at load time).
+    needs_newline = False
+    if path.exists() and path.stat().st_size:
+        with path.open("rb") as fh:
+            fh.seek(-1, 2)
+            needs_newline = fh.read(1) != b"\n"
     with path.open("a") as fh:
+        if needs_newline:
+            fh.write("\n")
         for row in rows:
             fh.write(json.dumps(row, sort_keys=True) + "\n")
     return len(rows)
 
 
 def load_history(path) -> List[Dict[str, Any]]:
-    """All rows of a jsonl store (empty list for a missing file)."""
+    """All rows of a jsonl store (empty list for a missing file).
+
+    Undecodable lines — a torn tail from a crash-interrupted append — are
+    skipped with a warning instead of sinking the whole load: the store is
+    an audit log, and one corrupt line must not make the history unusable.
+    """
     path = Path(path)
     if not path.exists():
         return []
     rows = []
     with path.open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, 1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                print(
+                    f"store: skipping corrupt line {lineno} of {path}",
+                    file=sys.stderr,
+                )
     return rows
+
+
+def latest_baseline(
+    rows: List[Dict[str, Any]],
+    experiment: str,
+    backend: str,
+    exclude_commit: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """The most recent commit's ok rows for one ``(experiment, backend)``.
+
+    Groups the cell's successful rows by commit, picks the commit whose
+    rows were written last (``written_at``), and returns all of that
+    commit's rows — the regression checker's baseline population.
+    ``exclude_commit`` drops one commit from consideration (the current
+    run's own rows, when the history already contains them).  Returns
+    ``[]`` when the cell has no usable history.
+    """
+    by_commit: Dict[str, List[Dict[str, Any]]] = {}
+    for row in rows:
+        if not row.get("ok"):
+            continue
+        if row.get("experiment") != experiment or row.get("backend") != backend:
+            continue
+        commit = str(row.get("commit", "unknown"))
+        if exclude_commit is not None and commit == exclude_commit:
+            continue
+        by_commit.setdefault(commit, []).append(row)
+    if not by_commit:
+        return []
+    newest = max(
+        by_commit, key=lambda c: max(r.get("written_at", 0.0) for r in by_commit[c])
+    )
+    return by_commit[newest]

@@ -225,8 +225,35 @@ def uniform_splitting(
     Las-Vegas loop in a faulty environment (see :mod:`repro.scenarios`):
     acceptance is then based on what the nodes *heard*, which a lossy
     network can fool — the scenario contracts recompute ground truth.
+
+    ``method="dense-batched"`` runs the Las-Vegas loop for a whole batch
+    of master seeds in one kernel call: pass a sequence of seeds as
+    ``seed`` and get back a list of color lists, one per seed, each
+    bit-identical to a ``method="dense", coins="keyed"`` run of that seed
+    (:func:`repro.local.dense.uniform_splitting_batched`).  The ledger is
+    charged one verification round per attempt per trial.
     """
     n = len(adjacency)
+
+    if method == "dense-batched":
+        from repro.local.dense import uniform_splitting_batched
+
+        if engine is None:
+            engine = CSREngine(Network(adjacency))
+        batch = uniform_splitting_batched(
+            engine, spec, list(seed), coins=coins, max_attempts=max_attempts,
+            red=RED, blue=BLUE, faults=faults,
+        )
+        if ledger is not None:
+            for t in range(len(batch)):
+                for _ in range(int(batch.attempts[t])):
+                    ledger.charge_simulated(1, "0-round-splitting+check")
+        if not bool(batch.ok.all()):
+            raise RuntimeError(
+                f"{method} uniform splitting failed {max_attempts} times; "
+                "constrained degrees are below the w.h.p. regime"
+            )
+        return [[int(c) for c in batch.colors[t]] for t in range(len(batch))]
 
     if method in ("local", "dense"):
         rng = ensure_rng(seed)

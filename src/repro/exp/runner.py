@@ -42,16 +42,40 @@ RESULTS_SCHEMA = 1
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One sweep cell: a workload, its parameters, and the seeds to run."""
+    """One sweep cell: a workload, its parameters, and the seeds to run.
+
+    With ``batch_fn`` set the cell is *trial-batched*: seeds are chunked
+    into groups of up to ``trial_batch`` and each chunk becomes ONE task
+    calling ``batch_fn(seeds=chunk, **params)``, which must return a list
+    of per-seed metric dicts (same order as the chunk).  This is how the
+    dense-batched kernels receive whole seed batches in one call instead
+    of one pool task per seed; ``fn`` remains the per-seed fallback others
+    (and documentation of the cell's semantics) use.
+    """
 
     name: str
     fn: Workload
     params: Dict[str, Any] = field(default_factory=dict)
     seeds: Sequence[int] = (0, 1, 2)
+    batch_fn: Optional[Workload] = None
+    trial_batch: int = 32
 
-    def trials(self) -> List[Tuple[str, Workload, Dict[str, Any], int]]:
-        """The (name, fn, params, seed) tuples this spec fans out to."""
-        return [(self.name, self.fn, dict(self.params), int(s)) for s in self.seeds]
+    def trials(self) -> List[Tuple[str, Workload, Dict[str, Any], Any]]:
+        """The (name, fn, params, seed-or-seed-chunk) tuples to fan out.
+
+        Per-seed cells yield one tuple per seed; batched cells yield one
+        tuple per chunk with the seed slot holding a ``tuple`` of seeds
+        (:func:`run_sweep` dispatches on that shape).
+        """
+        if self.batch_fn is None:
+            return [(self.name, self.fn, dict(self.params), int(s)) for s in self.seeds]
+        require(self.trial_batch >= 1, "trial_batch must be >= 1")
+        seeds = [int(s) for s in self.seeds]
+        chunks = [
+            tuple(seeds[i : i + self.trial_batch])
+            for i in range(0, len(seeds), self.trial_batch)
+        ]
+        return [(self.name, self.batch_fn, dict(self.params), c) for c in chunks]
 
 
 @dataclass
@@ -118,6 +142,50 @@ def _run_trial(
         elapsed=time.perf_counter() - start,
         setup_seconds=float(setup),
     )
+
+
+def _run_batch(
+    name: str, fn: Workload, params: Dict[str, Any], seeds: Tuple[int, ...]
+) -> List[TrialResult]:
+    """Execute one seed-batch task; one :class:`TrialResult` per seed.
+
+    The workload runs once for the whole chunk, so per-seed wall-clock is
+    the batch total split evenly (the kernel advances all trials together;
+    no finer attribution exists).  A batch that raises fails every seed in
+    it — still data, not a crash, matching the per-seed contract.
+    """
+    start = time.perf_counter()
+    try:
+        per_seed = fn(seeds=seeds, **params)
+        require(
+            isinstance(per_seed, list) and len(per_seed) == len(seeds),
+            "batch workloads must return one metrics dict per seed",
+        )
+    except Exception as exc:  # noqa: BLE001 - failures are sweep data
+        elapsed = (time.perf_counter() - start) / max(len(seeds), 1)
+        err = f"{type(exc).__name__}: {exc}"
+        return [
+            TrialResult(
+                experiment=name, seed=s, params=params, metrics={},
+                elapsed=elapsed, error=err,
+            )
+            for s in seeds
+        ]
+    elapsed = (time.perf_counter() - start) / max(len(seeds), 1)
+    results = []
+    for s, metrics in zip(seeds, per_seed):
+        if not isinstance(metrics, dict):
+            metrics = {"result": metrics}
+        if "elapsed" in metrics:
+            metrics["workload_elapsed"] = metrics.pop("elapsed")
+        setup = metrics.pop("setup_seconds", 0.0)
+        results.append(
+            TrialResult(
+                experiment=name, seed=s, params=params, metrics=metrics,
+                elapsed=elapsed, setup_seconds=float(setup),
+            )
+        )
+    return results
 
 
 def aggregate(trials: Sequence[TrialResult]) -> Dict[str, Dict[str, Any]]:
@@ -226,23 +294,28 @@ def run_sweep(
         workers = os.cpu_count() or 1
     start = time.perf_counter()
     results: List[TrialResult] = []
-    if workers <= 0 or len(tasks) <= 1:
-        workers = 0
-        for task in tasks:
-            result = _run_trial(*task)
+
+    def collect(outcome) -> None:
+        # A task yields one TrialResult (per-seed) or a list (seed batch).
+        for result in outcome if isinstance(outcome, list) else (outcome,):
             results.append(result)
             if progress is not None:
                 progress(result)
+
+    def runner_for(task):
+        return _run_batch if isinstance(task[3], tuple) else _run_trial
+
+    if workers <= 0 or len(tasks) <= 1:
+        workers = 0
+        for task in tasks:
+            collect(runner_for(task)(*task))
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_run_trial, *task) for task in tasks}
+            pending = {pool.submit(runner_for(task), *task) for task in tasks}
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    result = future.result()
-                    results.append(result)
-                    if progress is not None:
-                        progress(result)
+                    collect(future.result())
     results.sort(key=lambda t: (t.experiment, t.seed))
     sweep = SweepResult(
         trials=results, workers=workers, elapsed=time.perf_counter() - start

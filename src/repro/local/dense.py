@@ -25,6 +25,11 @@ Coin contract (see :class:`~repro.utils.rng.CoinTable`):
   cross-checks.
 * ``coins="philox"`` uses a counter-based numpy stream with O(1) setup —
   **distribution-identical** runs for performance work.
+* ``coins="keyed"`` keys every value by ``(seed, counter, round tag)`` —
+  order-insensitive, which is what lets a *trial-batched* kernel
+  (:func:`luby_mis_batched`, :func:`sinkless_trial_batched`,
+  :func:`uniform_splitting_batched`) reproduce k sequential keyed runs
+  bit-for-bit while advancing all k trials through shared array passes.
 
 Each kernel documents exactly which hook-level draws it replays; any change
 to the corresponding :class:`LocalAlgorithm` must be mirrored here (the
@@ -33,21 +38,32 @@ equivalence property tests in ``tests/local/test_dense.py`` enforce this).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
 from repro.local.engine import CSREngine
-from repro.utils.rng import CoinTable, as_coin_table
+from repro.utils.rng import (
+    CoinTable,
+    as_coin_table,
+    ensure_rng,
+    keyed_hash53,
+    keyed_u01,
+    mix64,
+)
 from repro.utils.validation import require
 
 __all__ = [
     "DenseResult",
+    "BatchedDenseResult",
     "luby_round_dense",
     "luby_mis_dense",
+    "luby_mis_batched",
     "sinkless_trial_dense",
+    "sinkless_trial_batched",
     "dense_orientation",
     "uniform_splitting_dense",
+    "uniform_splitting_batched",
 ]
 
 
@@ -66,6 +82,44 @@ class DenseResult:
             return self.data[name]
         except KeyError:
             raise AttributeError(name) from None
+
+
+class BatchedDenseResult:
+    """Outcome of a trial-batched dense kernel: one leading trial axis.
+
+    ``rounds`` (int64) and ``completed`` (bool) have shape ``(k,)``, aligned
+    with ``seeds``; every array in ``data`` has shape ``(k, ...)`` — e.g.
+    ``in_mis`` is ``(trials, nodes)``.  Trials finish at different rounds
+    (ragged termination): a finished trial's rows are frozen at their final
+    state while survivors keep iterating.  :meth:`trial` slices one trial
+    back out as a :class:`DenseResult`, bit-identical to the corresponding
+    sequential ``coins="keyed"`` run of the same kernel.
+    """
+
+    __slots__ = ("seeds", "rounds", "completed", "data")
+
+    def __init__(self, seeds, rounds, completed, **data):
+        self.seeds = list(seeds)
+        self.rounds = rounds
+        self.completed = completed
+        self.data = data
+
+    def __getattr__(self, name):
+        try:
+            return self.data[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def trial(self, t: int) -> DenseResult:
+        """The ``t``-th trial's slice as a sequential-shaped result."""
+        return DenseResult(
+            int(self.rounds[t]),
+            bool(self.completed[t]),
+            **{key: value[t] for key, value in self.data.items()},
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -109,10 +163,60 @@ def _segment_sum(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     return out
 
 
+def _segment_or_2d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_segment_or` over a ``(trials, slots)`` array.
+
+    One ``reduceat`` along axis 1 advances every trial's neighborhood OR at
+    once — the trial-batched kernels' workhorse.  Same empty/trailing
+    segment guards as the 1D version.
+    """
+    k = values.shape[0]
+    m = values.shape[1]
+    n = offsets.shape[0] - 1
+    out = np.zeros((k, n), dtype=bool)
+    if m == 0:
+        return out
+    starts = offsets[:-1]
+    j = int(np.searchsorted(starts, m))
+    out[:, :j] = np.logical_or.reduceat(values, starts[:j], axis=1)
+    out[:, starts == offsets[1:]] = False
+    return out
+
+
+def _segment_sum_2d(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`_segment_sum` over a ``(trials, slots)`` array."""
+    k = values.shape[0]
+    m = values.shape[1]
+    n = offsets.shape[0] - 1
+    out = np.zeros((k, n), dtype=values.dtype)
+    if m == 0:
+        return out
+    starts = offsets[:-1]
+    j = int(np.searchsorted(starts, m))
+    out[:, :j] = np.add.reduceat(values, starts[:j], axis=1)
+    out[:, starts == offsets[1:]] = 0
+    return out
+
+
 def _slot_owner(offsets: np.ndarray) -> np.ndarray:
     """``owner[k]`` = the node whose CSR row contains slot ``k``."""
     n = offsets.shape[0] - 1
     return np.repeat(np.arange(n, dtype=np.int64), np.diff(offsets))
+
+
+def _ragged_slots(offsets: np.ndarray, degrees: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """All CSR slots owned by the nodes in ``idx``, in node order.
+
+    O(output) — the batched Luby kernel uses it to touch only the surviving
+    frontier's slots instead of sweeping all ``m`` pairs per phase.
+    """
+    cnt = degrees[idx]
+    total = int(cnt.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = offsets[idx]
+    base = np.repeat(starts - np.concatenate(([0], np.cumsum(cnt[:-1]))), cnt)
+    return np.arange(total, dtype=np.int64) + base
 
 
 def _uids(engine: CSREngine) -> np.ndarray:
@@ -234,9 +338,10 @@ def luby_mis_dense(
                 active = active & ~crash
         # Odd round: active nodes draw priorities (index order, like the
         # engine's broadcast sweep — per-node replay streams make the
-        # cross-node order immaterial, the per-node draw count exact).
+        # cross-node order immaterial, the per-node draw count exact).  The
+        # round tag keys the keyed kind; philox/replay ignore it.
         act_idx = np.flatnonzero(active)
-        r[act_idx] = table.uniforms(act_idx)
+        r[act_idx] = table.uniforms(act_idx, tag=round1)
         rounds += 1
         if rounds + 1 > max_rounds:
             break  # engine would stop after the odd round, mid-phase
@@ -259,6 +364,308 @@ def luby_mis_dense(
     return DenseResult(
         rounds, completed=not active.any(), in_mis=in_mis, crashed=crashed
     )
+
+
+# ---------------------------------------------------------------------------
+# Trial-batched Luby MIS.
+#
+# The batched kernel advances k seeds of one graph at once.  Its state per
+# still-running trial is *compressed*: a flat array of active (trial, node)
+# keys plus pair-endpoint positions into it, so every phase costs
+# O(surviving frontier) instead of O(k * m).  Two execution regimes chosen
+# purely for cache behaviour (semantics are identical):
+#
+# * a trial whose live pair count is still large is advanced on its own
+#   (its arrays are cache-resident; pooling them with 63 siblings would
+#   blow the working set on 1-CPU CI hardware);
+# * once a trial's frontier shrinks below ``pool_pairs`` it merges into one
+#   communal pool, and a single bincount/segment pass advances every pooled
+#   trial per phase — the "one pass, many seeds" payoff, since Luby's
+#   frontier decays geometrically and the tail phases dominate the count.
+#
+# Coins are ``keyed`` (pure hash of (seed, node, round)), so the batched
+# run is bit-identical to k sequential ``coins="keyed"`` runs — enforced by
+# the property tests in tests/local/test_dense_batched.py.
+# ---------------------------------------------------------------------------
+
+
+def _compress_state(keep, nodes, o_pos, n_pos, slots, sh):
+    """Drop nodes where ``keep`` is False; remap pair positions."""
+    if keep.all():
+        return nodes, o_pos, n_pos, slots, sh
+    remap = np.cumsum(keep) - 1
+    pair_keep = keep[o_pos] & keep[n_pos]
+    return (
+        nodes[keep],
+        remap[o_pos[pair_keep]],
+        remap[n_pos[pair_keep]],
+        slots[pair_keep],
+        sh[keep],
+    )
+
+
+def _merge_states(parts):
+    """Concatenate compressed states (disjoint trial sets) into one pool."""
+    base = 0
+    cols = ([], [], [], [], [])
+    for nodes, o_pos, n_pos, slots, sh in parts:
+        cols[0].append(nodes)
+        cols[1].append(o_pos + base)
+        cols[2].append(n_pos + base)
+        cols[3].append(slots)
+        cols[4].append(sh)
+        base += nodes.shape[0]
+    return tuple(np.concatenate(c) for c in cols)
+
+
+def _luby_phase_batched(state, n, round1, uid_gt, in_mis_flat, crashed_flat, faults):
+    """One full Luby phase (rounds ``round1``, ``round1 + 1``) on one
+    compressed state; returns the surviving state.
+
+    Mirrors the sequential loop body of :func:`luby_mis_dense` exactly:
+    round-1 crashes leave before drawing, priorities are 53-bit keyed
+    hashes (rank-isomorphic to the keyed uniforms the sequential kernel
+    compares, ties broken by uid), dropped priorities don't suppress joins,
+    round-2 crashers neither join nor announce, dropped announcements don't
+    kill.  Fault masks are shared across every trial in the state.
+    """
+    nodes, o_pos, n_pos, slots, sh = state
+    if faults is not None:
+        crash = faults.crashed_at(round1)
+        if crash is not None:
+            hit = crash[nodes % n]
+            if hit.any():
+                crashed_flat[nodes[hit]] = True
+                nodes, o_pos, n_pos, slots, sh = _compress_state(
+                    ~hit, nodes, o_pos, n_pos, slots, sh
+                )
+    N = nodes.shape[0]
+    if N == 0:
+        return nodes, o_pos, n_pos, slots, sh
+    r = keyed_hash53(np, sh, nodes % n, round1)
+    ro = r[o_pos]
+    rn = r[n_pos]
+    better = (rn > ro) | ((rn == ro) & uid_gt[slots])
+    crash2 = None
+    if faults is not None:
+        heard1 = faults.delivered_in(round1)
+        if heard1 is not None:
+            better &= heard1[slots]
+        cmask = faults.crashed_at(round1 + 1)
+        if cmask is not None:
+            crash2 = cmask[nodes % n]
+    joining = np.bincount(o_pos[better], minlength=N) == 0
+    if crash2 is not None and crash2.any():
+        crashed_flat[nodes[crash2]] = True
+        joining &= ~crash2
+    announced = joining[n_pos]
+    if faults is not None:
+        heard2 = faults.delivered_in(round1 + 1)
+        if heard2 is not None:
+            announced &= heard2[slots]
+    killed = ~joining & (np.bincount(o_pos[announced], minlength=N) > 0)
+    in_mis_flat[nodes[joining]] = True
+    keep = ~joining & ~killed
+    if crash2 is not None:
+        keep &= ~crash2
+    return _compress_state(keep, nodes, o_pos, n_pos, slots, sh)
+
+
+def _luby_phase1_fast(t, s_hash, n, node_idx, act0, uid_gt, offsets, dst_node,
+                      owner, degrees, in_mis_row, pos_map):
+    """Fault-free phase 1 for one trial, full-graph arrays (cache-hot).
+
+    Joins/kills over all ``m`` pairs via segment reductions; the kill set
+    is scattered from the joining nodes' own slots and the surviving
+    frontier's pairs are extracted from the survivors' CSR rows only — both
+    O(joining/surviving slots), not O(m).  Returns the compressed state of
+    phase-2 survivors, or ``None`` when the trial finished at round 2.
+    """
+    rt = keyed_hash53(np, s_hash, node_idx, 1)
+    ro = rt[owner]
+    rn = rt[dst_node]
+    better = (rn > ro) | ((rn == ro) & uid_gt)
+    join = act0 & ~_segment_or(better, offsets)
+    jslots = _ragged_slots(offsets, degrees, np.flatnonzero(join))
+    killed = np.zeros(n, dtype=bool)
+    killed[dst_node[jslots]] = True
+    in_mis_row[:] = ~act0 | join
+    at = act0 & ~join & ~killed
+    act_idx = np.flatnonzero(at)
+    if act_idx.shape[0] == 0:
+        return None
+    sslots = _ragged_slots(offsets, degrees, act_idx)
+    live = sslots[at[dst_node[sslots]]]
+    pos_map[act_idx] = np.arange(act_idx.shape[0])
+    sh = np.full(act_idx.shape[0], s_hash, dtype=np.uint64)
+    return (t * n + act_idx, pos_map[owner[live]], pos_map[dst_node[live]], live, sh)
+
+
+def luby_mis_batched(
+    engine: CSREngine,
+    seeds: Sequence[int],
+    coins="keyed",
+    max_rounds: int = 10_000,
+    faults=None,
+    pool_pairs: int = 4096,
+) -> BatchedDenseResult:
+    """Luby's MIS for a batch of seeds on one graph, in one kernel call.
+
+    Per trial this is exactly ``luby_mis_dense(engine, seed=s,
+    coins="keyed", max_rounds=..., faults=...)`` — same MIS membership,
+    crash records, round counts and completion flags, bit for bit — but the
+    trials advance together: phase 1 runs per trial over cache-hot full
+    arrays, and once a trial's frontier is small (``pool_pairs`` live pairs
+    or fewer) it merges into a communal compressed pool where one
+    bincount/segment pass per phase advances every surviving trial at once.
+    Trials finish raggedly; finished trials freeze, survivors iterate.
+
+    ``faults`` is one shared :class:`~repro.scenarios.masks.DenseFaults`
+    schedule broadcast across the trial axis (per-round masks are built
+    once and reused by every trial).  ``coins`` accepts ``"keyed"`` or its
+    performance-default alias ``"philox"``; ``"replay"`` streams are
+    consumption-ordered and cannot be batched.
+
+    Returns a :class:`BatchedDenseResult` with ``in_mis`` and ``crashed``
+    of shape ``(trials, n)``.
+    """
+    require(
+        coins in ("keyed", "philox"),
+        "trial-batched kernels draw keyed counter-based coins "
+        "(replay streams are consumption-ordered and cannot be batched)",
+    )
+    require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
+    offsets, dst_node, _ = engine.dense_arrays()
+    n = engine.n
+    uid = _uids(engine)
+    owner = _slot_owner(offsets)
+    degrees = np.diff(offsets)
+    m = dst_node.shape[0]
+    k = len(seeds)
+
+    in_mis = np.zeros((k, n), dtype=bool)
+    in_mis[:, degrees == 0] = True
+    crashed = np.zeros((k, n), dtype=bool)
+    rounds = np.zeros(k, dtype=np.int64)
+    completed = np.ones(k, dtype=bool)
+    act0 = degrees > 0
+    if k == 0 or not act0.any():
+        return BatchedDenseResult(seeds, rounds, completed, in_mis=in_mis, crashed=crashed)
+
+    imf = in_mis.ravel()
+    crf = crashed.ravel()
+    seed_hashes = [mix64(int(s)) for s in seeds]
+    uid_gt = uid[dst_node] > uid[owner]
+    node_idx = np.arange(n, dtype=np.int64)
+    pos_map = np.empty(n, dtype=np.int64)
+    faults_expired = getattr(faults, "expired", None)
+
+    if max_rounds == 0:
+        completed[:] = False
+        return BatchedDenseResult(seeds, rounds, completed, in_mis=in_mis, crashed=crashed)
+    if faults is not None and faults_expired is not None and faults_expired(1):
+        faults = None
+    if max_rounds == 1:
+        # Mid-phase cap inside phase 1: crashes land, priorities are drawn,
+        # nothing is ever announced (matches the sequential odd-round break).
+        frontier = act0
+        if faults is not None:
+            crash = faults.crashed_at(1)
+            if crash is not None:
+                crashed[:, :] = (act0 & crash)[None, :]
+                frontier = act0 & ~crash
+        rounds[:] = 1
+        completed[:] = not frontier.any()
+        return BatchedDenseResult(seeds, rounds, completed, in_mis=in_mis, crashed=crashed)
+
+    # Phase 1 (rounds 1-2), per trial: the fault-free fast path, or the
+    # generic compressed phase seeded with the full graph under faults.
+    singles = {}
+    if faults is None:
+        for t, s_hash in enumerate(seed_hashes):
+            st = _luby_phase1_fast(
+                t, s_hash, n, node_idx, act0, uid_gt, offsets, dst_node,
+                owner, degrees, in_mis[t], pos_map,
+            )
+            if st is None:
+                rounds[t] = 2
+            else:
+                singles[t] = st
+    else:
+        act_idx0 = np.flatnonzero(act0)
+        pos_map[act_idx0] = np.arange(act_idx0.shape[0])
+        o_pos0 = pos_map[owner]
+        n_pos0 = pos_map[dst_node]
+        slots0 = np.arange(m, dtype=np.int64)
+        for t, s_hash in enumerate(seed_hashes):
+            state = (
+                t * n + act_idx0, o_pos0, n_pos0, slots0,
+                np.full(act_idx0.shape[0], s_hash, dtype=np.uint64),
+            )
+            st = _luby_phase_batched(state, n, 1, uid_gt, imf, crf, faults)
+            if st[0].shape[0] == 0:
+                rounds[t] = 2
+            else:
+                singles[t] = st
+
+    pool = None
+    round_no = 2
+    while singles or pool is not None:
+        round1 = round_no + 1
+        if round1 > max_rounds:
+            # Cap reached between phases: survivors stop incomplete.
+            for t in singles:
+                rounds[t] = round_no
+                completed[t] = False
+            if pool is not None:
+                for t in np.unique(pool[0] // n):
+                    rounds[t] = round_no
+                    completed[t] = False
+            break
+        if faults is not None and faults_expired is not None and faults_expired(round1):
+            faults = None
+        if round1 + 1 > max_rounds:
+            # Mid-phase cap: round-1 crashes land, then the odd-round break.
+            states = list(singles.values()) + ([pool] if pool is not None else [])
+            nodes_all = np.concatenate([st[0] for st in states])
+            left = nodes_all
+            if faults is not None:
+                crash = faults.crashed_at(round1)
+                if crash is not None:
+                    hit = crash[nodes_all % n]
+                    crf[nodes_all[hit]] = True
+                    left = nodes_all[~hit]
+            total = np.bincount(nodes_all // n, minlength=k)
+            remaining = np.bincount(left // n, minlength=k)
+            running = total > 0
+            rounds[running] = round1
+            completed[running] = remaining[running] == 0
+            break
+        round2 = round1 + 1
+        # Small trials merge into the communal pool (once pooled, a trial's
+        # frontier only shrinks, so it never leaves).
+        small = [t for t, st in singles.items() if st[3].shape[0] <= pool_pairs]
+        if small:
+            parts = ([pool] if pool is not None else []) + [singles.pop(t) for t in small]
+            pool = _merge_states(parts)
+        for t in list(singles):
+            st = _luby_phase_batched(singles[t], n, round1, uid_gt, imf, crf, faults)
+            if st[0].shape[0] == 0:
+                rounds[t] = round2
+                del singles[t]
+            else:
+                singles[t] = st
+        if pool is not None:
+            before = pool[0]
+            pool = _luby_phase_batched(pool, n, round1, uid_gt, imf, crf, faults)
+            if pool[0].shape[0] != before.shape[0]:
+                had = np.bincount(before // n, minlength=k) > 0
+                have = np.bincount(pool[0] // n, minlength=k) > 0
+                rounds[had & ~have] = round2
+                if pool[0].shape[0] == 0:
+                    pool = None
+        round_no = round2
+    return BatchedDenseResult(seeds, rounds, completed, in_mis=in_mis, crashed=crashed)
 
 
 # ---------------------------------------------------------------------------
@@ -327,7 +734,7 @@ def sinkless_trial_dense(
 
     # Round 1: per-port proposals, higher-uid endpoint's coin wins; the
     # winner's coin True means "winner's side points outward".
-    coins1 = table.uniform_runs(np.arange(n, dtype=np.int64), degrees) < 0.5
+    coins1 = table.uniform_runs(np.arange(n, dtype=np.int64), degrees, tag=1) < 0.5
     higher = uid[owner] > uid[dst_node]
     out = np.where(higher, coins1, ~coins1[partner])
     rounds = 1
@@ -349,7 +756,7 @@ def sinkless_trial_dense(
         sinks_own = constrained & ~crashed & ~_segment_or(out, offsets)
         sink_idx = np.flatnonzero(sinks_own)
         if sink_idx.shape[0]:
-            ports = table.randints(sink_idx, degrees[sink_idx])
+            ports = table.randints(sink_idx, degrees[sink_idx], tag=round_no)
             chosen = offsets[:-1][sink_idx] + ports
             out[chosen] = True
             # Receive phase: the paired port is marked inward.  A doubly
@@ -374,6 +781,118 @@ def sinkless_trial_dense(
     if strict:
         raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
     return DenseResult(rounds, completed=False, out=out, crashed=crashed)
+
+
+def sinkless_trial_batched(
+    engine: CSREngine,
+    seeds: Sequence[int],
+    min_degree: int = 1,
+    coins="keyed",
+    max_rounds: int = 200,
+    faults=None,
+    strict: bool = True,
+) -> BatchedDenseResult:
+    """Trial-and-fix sinkless orientation for a batch of seeds at once.
+
+    Per trial this is exactly ``sinkless_trial_dense(engine, min_degree,
+    seed=s, coins="keyed", ...)`` — same slot states, round counts and
+    crash records — but the fix rounds run in lockstep over ``(trial,
+    slot)`` grids: one 2D segment-mask pass finds every trial's sinks, one
+    keyed-hash call draws every flip port, and one flat scatter applies the
+    flips (scatter order preserves the doubly-flipped-edge-ends-inward
+    reference quirk within each trial).  Trials finishing early freeze
+    (their rows stop flipping and leave the probe); survivors iterate.
+
+    ``faults`` is one shared :class:`~repro.scenarios.masks.DenseFaults`
+    schedule broadcast across the trial axis.  ``strict=True`` raises if
+    *any* trial fails to orient within ``max_rounds``, mirroring the
+    sequential driver; ``strict=False`` returns the incomplete rows.
+    """
+    require(
+        coins in ("keyed", "philox"),
+        "trial-batched kernels draw keyed counter-based coins "
+        "(replay streams are consumption-ordered and cannot be batched)",
+    )
+    require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
+    offsets, dst_node, dst_port = engine.dense_arrays()
+    n = engine.n
+    uid = _uids(engine)
+    degrees = np.diff(offsets)
+    owner = _slot_owner(offsets)
+    m = dst_node.shape[0]
+    k = len(seeds)
+
+    pair_keys = owner * np.int64(n) + dst_node
+    require(
+        np.unique(pair_keys).shape[0] == m,
+        "sinkless_trial_batched requires a simple graph (no multi-edges/self-loops)",
+    )
+    partner = offsets[:-1][dst_node] + dst_port
+
+    sh = np.array([mix64(int(s)) for s in seeds], dtype=np.uint64)
+    rounds = np.ones(k, dtype=np.int64)
+    completed = np.zeros(k, dtype=bool)
+    crashed = np.zeros((k, n), dtype=bool)
+    if k == 0:
+        return BatchedDenseResult(
+            seeds, rounds, completed, out=np.zeros((0, m), dtype=bool), crashed=crashed
+        )
+
+    # Round 1: the sequential kernel keys its full-graph uniform_runs call
+    # by position-within-call, which *is* the CSR slot index — so the
+    # batched grid replays the identical coins per (trial, slot).
+    slot_idx = np.arange(m, dtype=np.int64)
+    coins1 = keyed_u01(np, sh[:, None], slot_idx, 1) < 0.5
+    higher = uid[owner] > uid[dst_node]
+    out = np.where(higher[None, :], coins1, ~coins1[:, partner])
+
+    constrained = degrees >= min_degree
+    low_view = owner < dst_node
+    running = np.ones(k, dtype=bool)
+    faults_expired = getattr(faults, "expired", None)
+    outf = out.ravel()
+
+    for round_no in range(2, max_rounds + 1):
+        if faults is not None and faults_expired is not None and faults_expired(round_no):
+            faults = None
+        if faults is not None:
+            crash = faults.crashed_at(round_no)
+            if crash is not None:
+                crashed[running] |= crash
+        sinks_own = (
+            running[:, None] & constrained[None, :] & ~crashed
+            & ~_segment_or_2d(out, offsets)
+        )
+        t_idx, v_idx = np.nonzero(sinks_own)
+        if t_idx.shape[0]:
+            # Sequential randints keys each draw by the node index, so the
+            # batched call hashes (seed_t, node, round) per flat sink.
+            ports = (
+                keyed_u01(np, sh[t_idx], v_idx, round_no) * degrees[v_idx]
+            ).astype(np.int64)
+            chosen = offsets[:-1][v_idx] + ports
+            base = t_idx * m
+            outf[base + chosen] = True
+            if faults is None:
+                outf[base + partner[chosen]] = False
+            else:
+                keep = ~crashed[t_idx, dst_node[chosen]]
+                delivered = faults.delivered_out(round_no)
+                if delivered is not None:
+                    keep &= delivered[chosen]
+                outf[(base + partner[chosen])[keep]] = False
+        rounds[running] = round_no
+        effective_out = np.where(low_view[None, :], out, ~out[:, partner])
+        live = (
+            constrained[None, :] & ~crashed & ~_segment_or_2d(effective_out, offsets)
+        ).any(axis=1)
+        completed[running & ~live] = True
+        running &= live
+        if not running.any():
+            return BatchedDenseResult(seeds, rounds, completed, out=out, crashed=crashed)
+    if strict:
+        raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
+    return BatchedDenseResult(seeds, rounds, completed, out=out, crashed=crashed)
 
 
 def dense_orientation(
@@ -433,7 +952,7 @@ def uniform_splitting_dense(
     degrees = np.diff(offsets)
     table = as_coin_table(coins, seed, engine.network.ids)
 
-    u = table.uniforms(np.arange(n, dtype=np.int64))
+    u = table.uniforms(np.arange(n, dtype=np.int64), tag=1)
     colors = np.where(u < 0.5, red, blue)
     crashed = np.zeros(n, dtype=bool)
     sent = (colors[dst_node] == red).astype(np.int64)
@@ -453,3 +972,94 @@ def uniform_splitting_dense(
         (~constrained | ((red_nbrs >= spec.lo(degrees)) & (red_nbrs <= spec.hi(degrees)))).all()
     )
     return DenseResult(1, completed=True, colors=colors, ok=ok, crashed=crashed)
+
+
+def uniform_splitting_batched(
+    engine: CSREngine,
+    spec,
+    seeds: Sequence[int],
+    coins="keyed",
+    max_attempts: int = 64,
+    red: int = 0,
+    blue: int = 1,
+    faults=None,
+) -> BatchedDenseResult:
+    """The uniform-splitting Las-Vegas loop for a batch of master seeds.
+
+    Per trial this is exactly the ``method="dense"`` loop of
+    :func:`repro.apps.splitting.uniform_splitting` with ``coins="keyed"``:
+    each master seed drives its own ``random.Random`` stream of per-attempt
+    run seeds (bit-identical to the sequential loop's draws), and each
+    attempt is one 0-round splitting + verification.  The batching is per
+    attempt: all still-unresolved trials color and verify together on one
+    ``(trial, node)`` coin grid and one 2D segment sum.  Resolved trials
+    freeze; a trial that exhausts ``max_attempts`` keeps its last colors
+    with ``ok=False`` (the wrapper decides whether that is fatal).
+
+    ``faults`` masks are constant across attempts (every attempt replays
+    the same single verification round), so they are built once and
+    broadcast.  Returns a :class:`BatchedDenseResult` with per-trial
+    ``colors``, ``ok``, ``attempts`` and ``crashed``; ``rounds`` counts the
+    attempts consumed (the per-trial ledger charge is one verification
+    round per attempt, applied by the wrapper).
+    """
+    require(
+        coins in ("keyed", "philox"),
+        "trial-batched kernels draw keyed counter-based coins "
+        "(replay streams are consumption-ordered and cannot be batched)",
+    )
+    require(max_attempts >= 1, f"max_attempts must be >= 1, got {max_attempts}")
+    offsets, dst_node, _ = engine.dense_arrays()
+    n = engine.n
+    degrees = np.diff(offsets)
+    k = len(seeds)
+
+    colors = np.full((k, n), blue, dtype=np.int64)
+    ok = np.zeros(k, dtype=bool)
+    attempts = np.zeros(k, dtype=np.int64)
+    if k == 0:
+        return BatchedDenseResult(
+            seeds, attempts, ok.copy(), colors=colors, ok=ok,
+            attempts=attempts, crashed=np.zeros((k, n), dtype=bool),
+        )
+
+    crashed_base = np.zeros(n, dtype=bool)
+    heard = None
+    if faults is not None:
+        crash = faults.crashed_at(1)
+        if crash is not None:
+            crashed_base = crash.copy()
+        heard = faults.delivered_in(1)
+    constrained = spec.constrains(degrees) & ~crashed_base
+    lo = spec.lo(degrees)
+    hi = spec.hi(degrees)
+    node_idx = np.arange(n, dtype=np.int64)
+
+    rngs = [ensure_rng(int(s)) for s in seeds]
+    pend = np.arange(k, dtype=np.int64)
+    for attempt_no in range(1, max_attempts + 1):
+        run_hashes = np.array(
+            [mix64(rngs[t].randrange(2**31)) for t in pend], dtype=np.uint64
+        )
+        u = keyed_u01(np, run_hashes[:, None], node_idx, 1)
+        cols = np.where(u < 0.5, red, blue)
+        sent = (cols[:, dst_node] == red).astype(np.int64)
+        if crashed_base.any():
+            sent &= ~crashed_base[dst_node][None, :]
+        if heard is not None:
+            sent &= heard[None, :]
+        red_nbrs = _segment_sum_2d(sent, offsets)
+        ok_rows = (
+            ~constrained[None, :] | ((red_nbrs >= lo) & (red_nbrs <= hi))
+        ).all(axis=1)
+        colors[pend] = cols
+        attempts[pend] = attempt_no
+        ok[pend[ok_rows]] = True
+        pend = pend[~ok_rows]
+        if pend.shape[0] == 0:
+            break
+    crashed = np.broadcast_to(crashed_base, (k, n)).copy()
+    return BatchedDenseResult(
+        seeds, attempts.copy(), ok.copy(),
+        colors=colors, ok=ok, attempts=attempts, crashed=crashed,
+    )

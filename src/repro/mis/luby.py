@@ -107,8 +107,38 @@ def luby_mis(
     ``hooks`` (a :class:`~repro.local.network.RoundHooks`, engine method)
     or ``faults`` (a :class:`~repro.scenarios.masks.DenseFaults`, dense
     method); under crash faults the MIS of the survivors is returned.
+
+    ``method="dense-batched"`` solves a whole *batch* of seeds in one
+    kernel call: pass a sequence of seeds as ``seed`` and get back a list
+    of ``(mis, rounds)`` pairs, one per seed, each bit-identical to a
+    ``method="dense", coins="keyed"`` run of that seed
+    (:func:`repro.local.dense.luby_mis_batched`).  The ledger is charged
+    per trial.
     """
-    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    require(
+        method in ("engine", "dense", "dense-batched"), f"unknown method {method!r}"
+    )
+    if method == "dense-batched":
+        from repro.local.dense import luby_mis_batched
+
+        if engine is None:
+            engine = CSREngine(Network(adjacency))
+        seeds = list(seed)
+        batch = luby_mis_batched(
+            engine, seeds, coins=coins, max_rounds=max_rounds, faults=faults
+        )
+        require(
+            bool(batch.completed.all()),
+            "Luby MIS did not terminate within the round cap",
+        )
+        out: List[Tuple[Set[int], int]] = []
+        for t in range(len(seeds)):
+            mis = {int(i) for i in batch.in_mis[t].nonzero()[0]}
+            rounds_t = int(batch.rounds[t])
+            if ledger is not None:
+                ledger.charge_simulated(rounds_t, label)
+            out.append((mis, rounds_t))
+        return out
     if method == "dense":
         from repro.local.dense import luby_mis_dense
 

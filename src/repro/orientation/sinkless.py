@@ -226,8 +226,29 @@ def run_trial_and_fix(
     environment, see :mod:`repro.scenarios` — note the default probe here
     still demands a globally sink-free configuration; the scenario runner
     uses its own survivor-aware stopping rule under crash faults.
+
+    ``method="dense-batched"`` solves a whole batch of seeds in one kernel
+    call: pass a sequence of seeds as ``seed`` and get back a list of
+    ``(orientation, rounds)`` pairs, one per seed, each bit-identical to a
+    ``method="dense", coins="keyed"`` run of that seed
+    (:func:`repro.local.dense.sinkless_trial_batched`).
     """
-    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    require(
+        method in ("engine", "dense", "dense-batched"), f"unknown method {method!r}"
+    )
+    if method == "dense-batched":
+        from repro.local.dense import dense_orientation, sinkless_trial_batched
+
+        if engine is None:
+            engine = CSREngine(Network(adj))
+        batch = sinkless_trial_batched(
+            engine, list(seed), min_degree=min_degree, coins=coins,
+            max_rounds=max_rounds, faults=faults,
+        )
+        return [
+            (dense_orientation(engine, batch.out[t]), int(batch.rounds[t]))
+            for t in range(len(batch))
+        ]
     if method == "dense":
         from repro.local.dense import dense_orientation, sinkless_trial_dense
 

@@ -13,9 +13,78 @@ from __future__ import annotations
 import random
 from typing import Optional, Sequence, Union
 
-__all__ = ["ensure_rng", "spawn", "node_rng", "CoinTable", "as_coin_table"]
+__all__ = [
+    "ensure_rng",
+    "spawn",
+    "node_rng",
+    "CoinTable",
+    "as_coin_table",
+    "mix64",
+    "keyed_hash53",
+    "keyed_u01",
+]
 
 SeedLike = Union[None, int, random.Random]
+
+# SplitMix64 mixing chain (same constants as the fault-coin kernels in
+# repro.scenarios.base — the repo-wide counter-based hash idiom).
+_MASK64 = (1 << 64) - 1
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_M1 = 0xBF58476D1CE4E5B9
+_SM_M2 = 0x94D049BB133111EB
+_TO_U01 = 2.0**-53
+
+
+def mix64(z: int) -> int:
+    """Pure-python SplitMix64 finalizer (used to pre-hash master seeds)."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _SM_M1) & _MASK64
+    z = ((z ^ (z >> 27)) * _SM_M2) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def _mix64_np(np, z):
+    """Vectorized SplitMix64 finalizer over a uint64 *array*.
+
+    Array-only on purpose: numpy uint64 *scalar* arithmetic raises overflow
+    warnings on wrap-around, array arithmetic wraps silently.
+    """
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(_SM_M1)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(_SM_M2)
+    return z ^ (z >> np.uint64(31))
+
+
+def keyed_hash53(np, seed_hash, counters, tag: int):
+    """53-bit counter-based hash of ``(seed, counter, tag)`` as uint64 array.
+
+    ``seed_hash`` is :func:`mix64` of the master seed — either one python
+    int broadcast over every counter (a single trial), or a uint64 array
+    aligned with ``counters`` carrying per-element seeds (the trial-batched
+    kernels' pooled phases, where one flat array mixes nodes of many
+    trials).  ``counters`` is the per-draw key (node index, slot index, or
+    call position) and ``tag`` the round number, so every value is a pure
+    function of ``(seed, counter, tag)`` — no consumption order anywhere.
+
+    The top 53 bits are returned so that comparing hashes is *order- and
+    tie-isomorphic* to comparing the ``(h >> 11) * 2**-53`` uniforms built
+    from them: kernels may rank raw hashes and skip the float convert.
+    """
+    u64 = np.uint64
+    c = np.asarray(counters)
+    if c.dtype != np.uint64:
+        c = c.astype(np.uint64)
+    if isinstance(seed_hash, int):
+        base = u64((seed_hash + _SM_GAMMA) & _MASK64) ^ c
+    else:
+        base = (seed_hash + u64(_SM_GAMMA)) ^ c
+    h = _mix64_np(np, base)
+    h = _mix64_np(np, (h + u64(_SM_GAMMA)) ^ u64(tag))
+    return h >> u64(11)
+
+
+def keyed_u01(np, seed_hash, counters, tag: int):
+    """Uniforms in [0, 1) keyed by ``(seed, counter, tag)`` (float64 array)."""
+    return keyed_hash53(np, seed_hash, counters, tag) * _TO_U01
 
 
 def ensure_rng(seed: SeedLike = None) -> random.Random:
@@ -68,12 +137,26 @@ class CoinTable:
         Setup is O(n) — this mode exists for equivalence testing and exact
         cross-checks, not speed.
 
+    ``kind="keyed"``
+        Every value is a pure function of ``(master seed, counter, tag)``
+        via the SplitMix64 chain of :func:`keyed_u01` — no stream, no
+        consumption order, O(1) setup.  The ``tag`` argument the dense
+        kernels pass (the round number) becomes part of the key, so the
+        *same* value is produced no matter which call draws it, or whether
+        it is drawn at all.  This is the contract that makes a trial-batched
+        kernel run **bit-identical** to k independent sequential ``keyed``
+        runs: the batched kernels recompute exactly these hashes at
+        whatever (trial, node, round) triples are still active.
+        Distribution-identical to the other kinds, bit-identical to neither.
+
     Kernels must route *every* random decision through this table (uniform
     coins via :meth:`uniforms`/:meth:`uniform_runs`, port choices via
-    :meth:`randints`) so the replay contract stays exact.
+    :meth:`randints`) so the replay contract stays exact, and must pass
+    their round number as ``tag`` so the keyed contract stays pure (philox
+    and replay ignore the tag).
     """
 
-    KINDS = ("philox", "replay")
+    KINDS = ("philox", "replay", "keyed")
 
     def __init__(self, seed: int, ids: Sequence[int], kind: str = "philox"):
         import numpy as np  # lazy: the pure-Python paths never need numpy
@@ -83,38 +166,49 @@ class CoinTable:
         self._np = np
         self.kind = kind
         self.seed = seed
+        self._gen = None
+        self._streams = None
+        self._seed_hash = None
         if kind == "philox":
             # Counter-based bit generator: O(1) setup regardless of n.
             self._gen = np.random.Generator(np.random.Philox(key=seed & (2**64 - 1)))
-            self._streams = None
-        else:
-            self._gen = None
+        elif kind == "replay":
             self._streams = [node_rng(seed, uid) for uid in ids]
+        else:
+            self._seed_hash = mix64(seed)
 
-    def uniforms(self, idx) -> "object":
+    def uniforms(self, idx, tag: int = 0) -> "object":
         """One uniform in [0, 1) per node index in ``idx`` (float64 array).
 
         In replay mode the value for node ``i`` is the next ``random()`` of
         that node's own stream; in philox mode values come off the shared
-        counter stream in order.
+        counter stream in order; in keyed mode the value is the pure hash
+        of ``(seed, i, tag)``.
         """
         np = self._np
         idx = np.asarray(idx, dtype=np.int64)
+        if self._seed_hash is not None:
+            return keyed_u01(np, self._seed_hash, idx, tag)
         if self._gen is not None:
             return self._gen.random(idx.shape[0])
         streams = self._streams
         return np.array([streams[i].random() for i in idx], dtype=np.float64)
 
-    def uniform_runs(self, idx, counts) -> "object":
+    def uniform_runs(self, idx, counts, tag: int = 0) -> "object":
         """``counts[k]`` consecutive uniforms for node ``idx[k]``, concatenated.
 
         Matches a per-node loop that draws ``counts[k]`` values in a row from
-        node ``idx[k]``'s stream (e.g. one coin per port in port order).
+        node ``idx[k]``'s stream (e.g. one coin per port in port order).  In
+        keyed mode the counter is the *position within the call* — a kernel
+        drawing one coin per CSR slot over all nodes therefore keys each
+        value by its slot index, which is what the batched kernels replay.
         """
         np = self._np
         idx = np.asarray(idx, dtype=np.int64)
         counts = np.asarray(counts, dtype=np.int64)
         total = int(counts.sum())
+        if self._seed_hash is not None:
+            return keyed_u01(np, self._seed_hash, np.arange(total, dtype=np.int64), tag)
         if self._gen is not None:
             return self._gen.random(total)
         out = np.empty(total, dtype=np.float64)
@@ -127,17 +221,19 @@ class CoinTable:
                 k += 1
         return out
 
-    def randints(self, idx, bounds) -> "object":
+    def randints(self, idx, bounds, tag: int = 0) -> "object":
         """One integer in ``[0, bounds[k])`` per node index in ``idx``.
 
         Replay mode calls each node's ``randrange`` (bit-identical to the
-        engine's port choice); philox mode maps uniforms through ``floor``
-        (the float rounding bias at these bound sizes is < 2^-40 — far below
-        anything the statistical tests can see).
+        engine's port choice); philox and keyed modes map uniforms through
+        ``floor`` (the float rounding bias at these bound sizes is < 2^-40 —
+        far below anything the statistical tests can see).
         """
         np = self._np
         idx = np.asarray(idx, dtype=np.int64)
         bounds = np.asarray(bounds, dtype=np.int64)
+        if self._seed_hash is not None:
+            return (keyed_u01(np, self._seed_hash, idx, tag) * bounds).astype(np.int64)
         if self._gen is not None:
             return (self._gen.random(idx.shape[0]) * bounds).astype(np.int64)
         streams = self._streams

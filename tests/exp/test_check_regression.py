@@ -1,0 +1,100 @@
+"""The CI perf-regression gate (`benchmarks/check_regression.py`)."""
+
+import importlib.util
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+
+def load_checker():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+    spec = importlib.util.spec_from_file_location("bench_check_regression", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def write_bench(path, solve=0.1, setup=0.0, experiment="mis/sparse@dense"):
+    data = {
+        "trials": [
+            {
+                "experiment": experiment,
+                "seed": s,
+                "params": {},
+                "metrics": {"solve_seconds": solve},
+                "elapsed": solve,
+                "setup_seconds": setup,
+                "error": None,
+            }
+            for s in (0, 1, 2)
+        ]
+    }
+    path.write_text(json.dumps(data))
+
+
+def write_history(path, solve=0.1, commit="baseline0000", experiment="mis/sparse@dense"):
+    rows = [
+        {
+            "commit": commit,
+            "experiment": experiment,
+            "backend": experiment.rsplit("@", 1)[1] if "@" in experiment else "",
+            "seed": s,
+            "ok": True,
+            "written_at": 1.0,
+            "setup_seconds": 0.0,
+            "metrics": {"solve_seconds": solve},
+        }
+        for s in (0, 1, 2)
+    ]
+    with path.open("w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row) + "\n")
+
+
+def args(tmp_path, threshold=0.30, min_seconds=0.01):
+    return SimpleNamespace(
+        history=str(tmp_path / "hist.jsonl"),
+        current=[str(tmp_path / "BENCH_ci.json")],
+        threshold=threshold,
+        min_seconds=min_seconds,
+    )
+
+
+class TestRegressionGate:
+    def test_passes_when_current_within_threshold(self, tmp_path, capsys):
+        write_history(tmp_path / "hist.jsonl", solve=0.1)
+        write_bench(tmp_path / "BENCH_ci.json", solve=0.11)
+        checker = load_checker()
+        assert checker.check(args(tmp_path)) == 0
+        assert "no perf regressions" in capsys.readouterr().out
+
+    def test_fails_on_regression_past_threshold(self, tmp_path, capsys):
+        write_history(tmp_path / "hist.jsonl", solve=0.1)
+        write_bench(tmp_path / "BENCH_ci.json", solve=0.2)  # +100%
+        checker = load_checker()
+        assert checker.check(args(tmp_path)) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_noise_floor_suppresses_tiny_cells(self, tmp_path):
+        write_history(tmp_path / "hist.jsonl", solve=0.001)
+        write_bench(tmp_path / "BENCH_ci.json", solve=0.005)  # 5x but ~ms
+        checker = load_checker()
+        assert checker.check(args(tmp_path)) == 0
+
+    def test_bootstraps_green_without_history(self, tmp_path, capsys):
+        write_bench(tmp_path / "BENCH_ci.json", solve=0.5)
+        checker = load_checker()
+        assert checker.check(args(tmp_path)) == 0
+        assert "baseline will seed" in capsys.readouterr().out
+
+    def test_green_when_no_current_artifacts(self, tmp_path):
+        write_history(tmp_path / "hist.jsonl")
+        checker = load_checker()
+        assert checker.check(args(tmp_path)) == 0
+
+    def test_unmatched_cell_reports_no_baseline(self, tmp_path, capsys):
+        write_history(tmp_path / "hist.jsonl", experiment="mis/torus@dense")
+        write_bench(tmp_path / "BENCH_ci.json", experiment="mis/sparse@dense")
+        checker = load_checker()
+        assert checker.check(args(tmp_path)) == 0
+        assert "no baseline" in capsys.readouterr().out

@@ -225,3 +225,90 @@ class TestWorkloads:
         engine2, setup2 = scenario_engine("torus", 90, 4, graph_seed=123456)
         assert engine2 is engine1
         assert setup1 > 0.0 and setup2 == 0.0
+
+
+def batch_metrics_workload(seeds, base=10):
+    return [{"value": base + s, "setup_seconds": 0.5 if i == 0 else 0.0}
+            for i, s in enumerate(seeds)]
+
+
+def batch_failing_workload(seeds):
+    raise RuntimeError("batch boom")
+
+
+class TestTrialBatching:
+    """batch_fn cells chunk seeds into single tasks, one kernel call each."""
+
+    def test_trials_chunk_seeds(self):
+        spec = ExperimentSpec(
+            "cell", metrics_workload, seeds=range(7),
+            batch_fn=batch_metrics_workload, trial_batch=3,
+        )
+        tasks = spec.trials()
+        assert [t[3] for t in tasks] == [(0, 1, 2), (3, 4, 5), (6,)]
+        assert all(t[1] is batch_metrics_workload for t in tasks)
+
+    def test_batch_results_fan_back_to_per_seed_trials(self):
+        spec = ExperimentSpec(
+            "cell", metrics_workload, {"base": 100}, seeds=range(5),
+            batch_fn=batch_metrics_workload, trial_batch=2,
+        )
+        sweep = run_sweep([spec], workers=0)
+        assert [t.seed for t in sweep.trials] == [0, 1, 2, 3, 4]
+        assert [t.metrics["value"] for t in sweep.trials] == [100, 101, 102, 103, 104]
+        assert all(t.ok for t in sweep.trials)
+        # chunk wall-clock is split evenly across the chunk's seeds
+        assert sweep.trials[0].elapsed == sweep.trials[1].elapsed
+        # the reserved setup channel stays per-trial: first seed of each
+        # chunk paid it, the rest report 0
+        assert [t.setup_seconds for t in sweep.trials] == [0.5, 0.0, 0.5, 0.0, 0.5]
+
+    def test_batch_failure_fails_every_seed_in_chunk(self):
+        spec = ExperimentSpec(
+            "cell", metrics_workload, seeds=range(4),
+            batch_fn=batch_failing_workload, trial_batch=4,
+        )
+        sweep = run_sweep([spec], workers=0)
+        assert len(sweep.trials) == 4
+        assert all(not t.ok for t in sweep.trials)
+        assert all("batch boom" in t.error for t in sweep.trials)
+
+    def test_batch_tasks_cross_process_pool(self):
+        spec = ExperimentSpec(
+            "cell", metrics_workload, seeds=range(6),
+            batch_fn=batch_metrics_workload, trial_batch=2,
+        )
+        inline = run_sweep([spec], workers=0)
+        pooled = run_sweep([spec], workers=2)
+        assert [(t.seed, t.metrics) for t in pooled.trials] == [
+            (t.seed, t.metrics) for t in inline.trials
+        ]
+
+    def test_progress_sees_every_seed(self):
+        seen = []
+        spec = ExperimentSpec(
+            "cell", metrics_workload, seeds=range(5),
+            batch_fn=batch_metrics_workload, trial_batch=2,
+        )
+        run_sweep([spec], workers=0, progress=lambda t: seen.append(t.seed))
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_wrong_length_batch_result_is_error(self):
+        spec = ExperimentSpec(
+            "cell", metrics_workload, seeds=range(3),
+            batch_fn=lambda seeds: [{}], trial_batch=3,
+        )
+        sweep = run_sweep([spec], workers=0)
+        assert all(not t.ok for t in sweep.trials)
+
+    def test_luby_batch_workload_matches_per_seed_backend(self):
+        from repro.exp.workloads import luby_mis_batch_workload
+
+        kwargs = dict(topology="sparse", n=150, degree=5, graph_seed=77)
+        rows = luby_mis_batch_workload(seeds=(0, 1, 2), **kwargs)
+        assert len(rows) == 3
+        for seed, row in zip((0, 1, 2), rows):
+            assert row["mis_size"] > 0
+            assert row["trial_batch"] == 3
+        assert rows[0]["setup_seconds"] >= 0.0
+        assert rows[1]["setup_seconds"] == 0.0

@@ -70,3 +70,72 @@ class TestHistoryStore:
         trial.experiment = "splitting/local"
         trial.params = {"method": "local"}
         assert store.history_rows(sweep, commit="c")[0]["backend"] == "local"
+
+    def test_rows_carry_setup_seconds(self):
+        store = load_store()
+        rows = store.history_rows(tiny_sweep(), commit="c")
+        assert all("setup_seconds" in r for r in rows)
+        assert all(isinstance(r["setup_seconds"], float) for r in rows)
+
+
+class TestCorruptTrailingLine:
+    """A crash-interrupted append must not sink the store."""
+
+    def test_load_skips_undecodable_lines(self, tmp_path, capsys):
+        store = load_store()
+        path = tmp_path / "bench_history.jsonl"
+        store.append_history(tiny_sweep(), path, commit="one")
+        with path.open("a") as fh:
+            fh.write('{"torn": tru')  # truncated mid-write, no newline
+        rows = store.load_history(path)
+        assert [r["commit"] for r in rows] == ["one", "one"]
+        assert "skipping corrupt line" in capsys.readouterr().err
+
+    def test_append_seals_torn_tail(self, tmp_path):
+        store = load_store()
+        path = tmp_path / "bench_history.jsonl"
+        store.append_history(tiny_sweep(), path, commit="one")
+        with path.open("a") as fh:
+            fh.write('{"torn": tru')
+        # The next append must not fuse its first row onto the torn tail.
+        store.append_history(tiny_sweep(), path, commit="two")
+        rows = store.load_history(path)
+        assert [r["commit"] for r in rows] == ["one", "one", "two", "two"]
+
+
+class TestLatestBaseline:
+    def _row(self, commit, experiment="mis/sparse@engine", backend="engine",
+             ok=True, written_at=0.0, solve=1.0):
+        return {
+            "commit": commit, "experiment": experiment, "backend": backend,
+            "ok": ok, "written_at": written_at,
+            "metrics": {"solve_seconds": solve},
+        }
+
+    def test_picks_newest_commit_group(self):
+        store = load_store()
+        rows = [
+            self._row("old", written_at=1.0, solve=0.5),
+            self._row("old", written_at=1.0, solve=0.6),
+            self._row("new", written_at=2.0, solve=0.1),
+        ]
+        base = store.latest_baseline(rows, "mis/sparse@engine", "engine")
+        assert [r["commit"] for r in base] == ["new"]
+
+    def test_excludes_current_commit_and_failures(self):
+        store = load_store()
+        rows = [
+            self._row("old", written_at=1.0),
+            self._row("cur", written_at=2.0),
+            self._row("bad", written_at=3.0, ok=False),
+        ]
+        base = store.latest_baseline(
+            rows, "mis/sparse@engine", "engine", exclude_commit="cur"
+        )
+        assert [r["commit"] for r in base] == ["old"]
+
+    def test_empty_when_cell_unseen(self):
+        store = load_store()
+        rows = [self._row("old")]
+        assert store.latest_baseline(rows, "mis/sparse@engine", "dense") == []
+        assert store.latest_baseline([], "mis/sparse@engine", "engine") == []
