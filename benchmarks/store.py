@@ -34,9 +34,11 @@ __all__ = [
 ]
 
 #: Schema version of one history row.  v2 added ``setup_seconds`` (the
-#: amortized one-off scenario setup each trial paid); v1 rows load fine —
-#: readers treat the key as 0.0 when absent.
-HISTORY_SCHEMA = 2
+#: amortized one-off scenario setup each trial paid); v3 added
+#: ``attempts`` (executions the fault-tolerant runner charged, > 1 when a
+#: trial was retried).  Older rows load fine — readers treat the keys as
+#: 0.0 / 1 when absent.
+HISTORY_SCHEMA = 3
 
 
 def current_commit(cwd: Optional[str] = None) -> str:
@@ -81,6 +83,7 @@ def history_rows(sweep, commit: Optional[str] = None) -> List[Dict[str, Any]]:
             "error": t.error,
             "elapsed": t.elapsed,
             "setup_seconds": t.setup_seconds,
+            "attempts": getattr(t, "attempts", 1),
             "written_at": written_at,
             "params": t.params,
             "metrics": t.metrics,

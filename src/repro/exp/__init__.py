@@ -15,13 +15,23 @@ scripts:
 * :mod:`~repro.exp.workloads` holds the picklable workload functions
   (Luby MIS, sinkless orientation, uniform splitting, engine-vs-reference
   throughput) over the scenario topologies in
-  :mod:`repro.bipartite.generators`.
+  :mod:`repro.bipartite.generators` — plus the ``chaos_*`` fault workloads
+  that crash, hang, exit, or flake on purpose;
+* :mod:`~repro.exp.resilient` is the fault-tolerant execution layer:
+  :class:`~repro.exp.resilient.RetryPolicy` backoff, per-task timeouts,
+  pool self-healing on worker death, torn-write-safe ``trials.jsonl``
+  checkpoints, and graceful SIGINT/SIGTERM drain.
 
 ``benchmarks/run_experiments.py`` is the command-line face of this
 package and writes the machine-readable ``BENCH_<date>.json`` consumed by
 CI.
 """
 
+from repro.exp.resilient import (
+    RetryPolicy,
+    append_checkpoint,
+    load_checkpoint,
+)
 from repro.exp.runner import (
     ExperimentSpec,
     SweepResult,
@@ -34,6 +44,9 @@ __all__ = [
     "ExperimentSpec",
     "TrialResult",
     "SweepResult",
+    "RetryPolicy",
     "run_sweep",
     "aggregate",
+    "append_checkpoint",
+    "load_checkpoint",
 ]

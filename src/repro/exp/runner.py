@@ -15,7 +15,13 @@ per-seed metrics into mean/std/min/max and serializes to JSON.
 
 Failures are data, not crashes: a trial that raises is recorded with its
 error string and excluded from aggregation, so one bad cell cannot sink a
-long sweep.
+long sweep.  The *infrastructure* failure modes — a hung worker, a
+segfaulted pool, a SIGINT mid-sweep — are handled by the fault-tolerant
+execution layer in :mod:`repro.exp.resilient`: per-task ``timeout`` and
+``retry`` policies live on :class:`ExperimentSpec`, every finished trial
+can be checkpointed to a torn-write-safe ``trials.jsonl``
+(``run_sweep(checkpoint=...)``), and a killed sweep restarts where it
+died with ``run_sweep(resume=...)``.
 """
 
 from __future__ import annotations
@@ -23,21 +29,39 @@ from __future__ import annotations
 import json
 import math
 import os
+import random
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.exp.resilient import (
+    ResilientExecutor,
+    RetryPolicy,
+    Task,
+    append_checkpoint,
+    drain_on_signals,
+    load_checkpoint,
+)
 from repro.utils.validation import require
 
-__all__ = ["ExperimentSpec", "TrialResult", "SweepResult", "run_sweep", "aggregate"]
+__all__ = [
+    "ExperimentSpec",
+    "TrialResult",
+    "SweepResult",
+    "RetryPolicy",
+    "run_sweep",
+    "aggregate",
+]
 
 #: Workload signature: fn(seed, **params) -> metrics dict.
 Workload = Callable[..., Dict[str, Any]]
 
-#: JSON schema version of the sweep result format.
-RESULTS_SCHEMA = 1
+#: JSON schema version of the sweep result format.  v2 added per-trial
+#: ``attempts`` (retry accounting) and the top-level ``drained`` marker;
+#: v1 readers that ignore unknown keys load v2 files unchanged.
+RESULTS_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -51,6 +75,12 @@ class ExperimentSpec:
     dense-batched kernels receive whole seed batches in one call instead
     of one pool task per seed; ``fn`` remains the per-seed fallback others
     (and documentation of the cell's semantics) use.
+
+    ``timeout`` is a per-task wall-clock deadline in seconds (pooled
+    execution only — an inline run cannot preempt itself): an overdue
+    task's worker is killed, the pool rebuilt, and the trial recorded as
+    ``error="Timeout: ..."`` data.  ``retry`` attaches a
+    :class:`~repro.exp.resilient.RetryPolicy` for transient failures.
     """
 
     name: str
@@ -59,6 +89,8 @@ class ExperimentSpec:
     seeds: Sequence[int] = (0, 1, 2)
     batch_fn: Optional[Workload] = None
     trial_batch: int = 32
+    timeout: Optional[float] = None
+    retry: Optional[RetryPolicy] = None
 
     def trials(self) -> List[Tuple[str, Workload, Dict[str, Any], Any]]:
         """The (name, fn, params, seed-or-seed-chunk) tuples to fan out.
@@ -89,6 +121,7 @@ class TrialResult:
     elapsed: float  #: wall-clock seconds for the workload call
     error: Optional[str] = None  #: exception repr if the trial failed
     setup_seconds: float = 0.0  #: one-off scenario setup (engine packing) paid by this trial
+    attempts: int = 1  #: executions charged (retries + the recorded outcome)
 
     @property
     def ok(self) -> bool:
@@ -103,13 +136,36 @@ class TrialResult:
             "elapsed": self.elapsed,
             "setup_seconds": self.setup_seconds,
             "error": self.error,
+            "attempts": self.attempts,
         }
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, Any]) -> "TrialResult":
+        """Rebuild a trial from its :meth:`to_dict` form (checkpoint rows).
+
+        Tolerant of older rows: ``attempts`` defaults to 1 when absent.
+        """
+        return cls(
+            experiment=row["experiment"],
+            seed=row["seed"],
+            params=row.get("params") or {},
+            metrics=row.get("metrics") or {},
+            elapsed=float(row.get("elapsed", 0.0)),
+            error=row.get("error"),
+            setup_seconds=float(row.get("setup_seconds", 0.0)),
+            attempts=int(row.get("attempts", 1)),
+        )
 
 
 def _run_trial(
     name: str, fn: Workload, params: Dict[str, Any], seed: int
 ) -> TrialResult:
-    """Execute one trial; module-level so it pickles into pool workers."""
+    """Execute one trial; module-level so it pickles into pool workers.
+
+    Every :class:`TrialResult` gets its own *copy* of ``params``: siblings
+    sharing one mutable dict would let a params-mutating workload corrupt
+    already-recorded rows.
+    """
     start = time.perf_counter()
     try:
         metrics = fn(seed=seed, **params)
@@ -117,7 +173,7 @@ def _run_trial(
         return TrialResult(
             experiment=name,
             seed=seed,
-            params=params,
+            params=dict(params),
             metrics={},
             elapsed=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
@@ -137,7 +193,7 @@ def _run_trial(
     return TrialResult(
         experiment=name,
         seed=seed,
-        params=params,
+        params=dict(params),
         metrics=metrics,
         elapsed=time.perf_counter() - start,
         setup_seconds=float(setup),
@@ -166,7 +222,7 @@ def _run_batch(
         err = f"{type(exc).__name__}: {exc}"
         return [
             TrialResult(
-                experiment=name, seed=s, params=params, metrics={},
+                experiment=name, seed=s, params=dict(params), metrics={},
                 elapsed=elapsed, error=err,
             )
             for s in seeds
@@ -181,7 +237,7 @@ def _run_batch(
         setup = metrics.pop("setup_seconds", 0.0)
         results.append(
             TrialResult(
-                experiment=name, seed=s, params=params, metrics=metrics,
+                experiment=name, seed=s, params=dict(params), metrics=metrics,
                 elapsed=elapsed, setup_seconds=float(setup),
             )
         )
@@ -252,6 +308,7 @@ class SweepResult:
     trials: List[TrialResult]
     workers: int
     elapsed: float  #: wall-clock seconds for the whole sweep
+    drained: Optional[str] = None  #: signal name if the sweep was drained early
 
     def summary(self) -> Dict[str, Dict[str, Any]]:
         return aggregate(self.trials)
@@ -263,14 +320,107 @@ class SweepResult:
             "platform": sys.platform,
             "workers": self.workers,
             "elapsed": self.elapsed,
+            "drained": self.drained,
             "experiments": self.summary(),
             "trials": [t.to_dict() for t in self.trials],
         }
 
     def write_json(self, path: str) -> None:
-        with open(path, "w") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        """Atomic dump: a kill mid-write can never leave a torn JSON file.
+
+        The document is written to ``path + ".tmp"``, flushed and fsynced,
+        then moved into place with ``os.replace`` — readers (CI's
+        ``check_regression.py``) see either the old complete file or the
+        new complete file, never a prefix.
+        """
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+
+#: Jitter source for inline retries (pool retries use the executor's own).
+_INLINE_RNG = random.Random(0xD1CE)
+
+
+def _run_task_inline(spec: ExperimentSpec, task, collect) -> None:
+    """Execute one task in-process, honoring the spec's retry policy.
+
+    Timeouts are pooled-only (an inline run cannot preempt itself); retry
+    backoff sleeps apply as configured.  Results carry the attempt count.
+    """
+    name, fn, params, seed = task
+    runner = _run_batch if isinstance(seed, tuple) else _run_trial
+    attempts = 0
+    while True:
+        attempts += 1
+        outcome = runner(name, fn, params, seed)
+        results = outcome if isinstance(outcome, list) else [outcome]
+        error = next((r.error for r in results if r.error), None)
+        policy = spec.retry
+        if (
+            error is not None
+            and policy is not None
+            and attempts < policy.max_attempts
+            and policy.is_retryable(error)
+        ):
+            delay = policy.delay(attempts, _INLINE_RNG)
+            if delay > 0:
+                time.sleep(delay)
+            continue
+        for result in results:
+            result.attempts = attempts
+            collect(result)
+        return
+
+
+def _apply_resume(spec_tasks, resume):
+    """Split tasks into (still-to-run, reused checkpoint results).
+
+    Per-seed tasks whose ``(experiment, seed)`` key is already in the
+    checkpoint are skipped outright; batched tasks are *narrowed* to their
+    missing seeds (an empty remainder drops the task).  Only checkpoint
+    rows matching a key of the current sweep are reused — a checkpoint may
+    hold unrelated experiments.
+    """
+    prior = {(t.experiment, t.seed): t for t in load_checkpoint(resume)}
+    remaining = []
+    reused: List[TrialResult] = []
+    for spec, (name, fn, params, seed) in spec_tasks:
+        if isinstance(seed, tuple):
+            missing = tuple(s for s in seed if (name, s) not in prior)
+            reused.extend(prior[(name, s)] for s in seed if (name, s) in prior)
+            if missing:
+                remaining.append((spec, (name, fn, params, missing)))
+        elif (name, seed) in prior:
+            reused.append(prior[(name, seed)])
+        else:
+            remaining.append((spec, (name, fn, params, seed)))
+    return remaining, reused
+
+
+def _write_manifest(path, sweep: SweepResult, unfinished) -> None:
+    """Failure manifest of a drained sweep: what was *not* completed."""
+    doc = {
+        "drained": sweep.drained,
+        "completed": len(sweep.trials),
+        "unfinished": [
+            {"experiment": task.name, "seed": s}
+            for task in unfinished
+            for s in task.seeds()
+        ],
+        "written_at": time.time(),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def run_sweep(
@@ -278,48 +428,89 @@ def run_sweep(
     workers: Optional[int] = None,
     json_path: Optional[str] = None,
     progress: Optional[Callable[[TrialResult], None]] = None,
+    checkpoint: Optional[str] = None,
+    resume: Optional[str] = None,
+    drain_signals: bool = True,
+    drain_grace: float = 5.0,
 ) -> SweepResult:
     """Fan every (spec, seed) trial out and collect results.
 
     ``workers=None`` uses ``os.cpu_count()`` pool processes; ``workers=0``
-    (or a single trial) runs inline in this process — deterministic
-    ordering, no pickling requirements, the right mode for tests.
-    ``progress`` is invoked once per finished trial (completion order).
-    Trial results are always returned sorted by (experiment, seed) so the
-    output is reproducible regardless of scheduling.
+    (or a single trial with no timeout) runs inline in this process —
+    deterministic ordering, no pickling requirements, the right mode for
+    tests.  ``progress`` is invoked once per finished trial (completion
+    order).  Trial results are always returned sorted by (experiment,
+    seed) so the output is reproducible regardless of scheduling.
+
+    Fault tolerance (see :mod:`repro.exp.resilient`):
+
+    * ``checkpoint`` — append every finished trial to this torn-write-safe
+      ``trials.jsonl`` as it completes, so a killed sweep loses nothing
+      already done;
+    * ``resume`` — load this checkpoint first and skip its completed
+      ``(experiment, seed)`` keys (batched cells are narrowed to their
+      missing seeds); the reused rows appear in the returned
+      :class:`SweepResult` alongside the fresh ones.  Pass the same path
+      as ``checkpoint`` to restart a killed sweep where it died.
+    * Pooled runs honor each spec's ``timeout``/``retry`` and survive
+      worker crashes (``BrokenProcessPool`` heals the pool and attributes
+      the crash); on SIGINT/SIGTERM (``drain_signals``, main thread only)
+      the sweep stops dispatching, collects in-flight trials for up to
+      ``drain_grace`` seconds, writes the partial results plus a
+      ``<checkpoint or json_path>.manifest.json`` failure manifest, and
+      returns with ``SweepResult.drained`` set.
     """
     require(all(isinstance(s, ExperimentSpec) for s in specs), "specs must be ExperimentSpec")
-    tasks = [t for spec in specs for t in spec.trials()]
+    spec_tasks = [(spec, t) for spec in specs for t in spec.trials()]
+    reused: List[TrialResult] = []
+    if resume:
+        spec_tasks, reused = _apply_resume(spec_tasks, resume)
     if workers is None:
         workers = os.cpu_count() or 1
     start = time.perf_counter()
-    results: List[TrialResult] = []
+    results: List[TrialResult] = list(reused)
+    if (
+        checkpoint
+        and reused
+        and (not resume or Path(checkpoint).resolve() != Path(resume).resolve())
+    ):
+        # Resuming into a *different* checkpoint: carry the reused rows
+        # over so the new checkpoint is self-contained.
+        append_checkpoint(checkpoint, reused)
 
-    def collect(outcome) -> None:
-        # A task yields one TrialResult (per-seed) or a list (seed batch).
-        for result in outcome if isinstance(outcome, list) else (outcome,):
-            results.append(result)
-            if progress is not None:
-                progress(result)
+    def collect(result: TrialResult) -> None:
+        results.append(result)
+        if checkpoint:
+            append_checkpoint(checkpoint, [result])
+        if progress is not None:
+            progress(result)
 
-    def runner_for(task):
-        return _run_batch if isinstance(task[3], tuple) else _run_trial
-
-    if workers <= 0 or len(tasks) <= 1:
+    drained: Optional[str] = None
+    unfinished: List[Task] = []
+    has_timeout = any(spec.timeout for spec, _ in spec_tasks)
+    if workers <= 0 or (len(spec_tasks) <= 1 and not has_timeout):
         workers = 0
-        for task in tasks:
-            collect(runner_for(task)(*task))
+        for spec, task in spec_tasks:
+            _run_task_inline(spec, task, collect)
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(runner_for(task), *task) for task in tasks}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    collect(future.result())
+        tasks = [
+            Task(name, fn, params, seed, timeout=spec.timeout, retry=spec.retry)
+            for spec, (name, fn, params, seed) in spec_tasks
+        ]
+        executor = ResilientExecutor(tasks, workers, collect, drain_grace=drain_grace)
+        with drain_on_signals(executor, enabled=drain_signals):
+            unfinished, drained = executor.run()
     results.sort(key=lambda t: (t.experiment, t.seed))
     sweep = SweepResult(
-        trials=results, workers=workers, elapsed=time.perf_counter() - start
+        trials=results,
+        workers=workers,
+        elapsed=time.perf_counter() - start,
+        drained=drained,
     )
     if json_path is not None:
         sweep.write_json(json_path)
+    if drained is not None:
+        manifest_base = checkpoint or json_path
+        if manifest_base:
+            _write_manifest(f"{manifest_base}.manifest.json", sweep, unfinished)
     return sweep

@@ -98,6 +98,99 @@ class TestAggregate:
         metrics = aggregate(trials)["e"]["metrics"]
         assert "s" not in metrics and "b" not in metrics and "v" in metrics
 
+    def test_all_failed_cell(self):
+        trials = [
+            TrialResult("dead", s, {"p": 1}, {}, elapsed=0.1, error="RuntimeError: x")
+            for s in range(3)
+        ]
+        entry = aggregate(trials)["dead"]
+        assert entry["ok"] == 0 and entry["failed"] == 3
+        assert entry["errors"] == ["RuntimeError: x"] * 3
+        assert entry["seeds"] == [0, 1, 2]
+        # no successful trials: the reserved timing stats are empty dicts,
+        # and no workload metric appears at all
+        assert entry["metrics"]["elapsed"] == {}
+        assert entry["metrics"]["setup_seconds"] == {}
+        assert set(entry["metrics"]) == {"elapsed", "setup_seconds"}
+
+    def test_mixed_batch_and_per_seed_cells_same_name(self):
+        # A per-seed cell and a batched cell may share one experiment name
+        # (e.g. a resumed sweep re-running a narrowed chunk); aggregation
+        # groups them into one summary over the union of seeds.
+        per_seed = run_sweep(
+            [ExperimentSpec("cell", metrics_workload, {"base": 10}, seeds=(0, 1))],
+            workers=0,
+        ).trials
+        batched = run_sweep(
+            [
+                ExperimentSpec(
+                    "cell", metrics_workload, {"base": 10}, seeds=(2, 3),
+                    batch_fn=batch_metrics_workload, trial_batch=2,
+                )
+            ],
+            workers=0,
+        ).trials
+        entry = aggregate(per_seed + batched)["cell"]
+        assert entry["ok"] == 4 and entry["failed"] == 0
+        assert sorted(entry["seeds"]) == [0, 1, 2, 3]
+        assert entry["metrics"]["value"]["n"] == 4
+        assert entry["metrics"]["value"]["mean"] == pytest.approx(
+            (10 + 11 + 12 + 13) / 4
+        )
+
+    def test_metric_present_in_some_trials_only(self):
+        trials = [
+            TrialResult("e", 0, {}, {"v": 1, "extra": 7.0}, 0.0),
+            TrialResult("e", 1, {}, {"v": 2}, 0.0),
+            TrialResult("e", 2, {}, {"v": "oops"}, 0.0),  # non-numeric this seed
+        ]
+        metrics = aggregate(trials)["e"]["metrics"]
+        assert metrics["extra"]["n"] == 1
+        assert metrics["v"]["n"] == 2  # the string-valued seed is filtered out
+
+    def test_failed_trials_excluded_from_stats(self):
+        trials = [
+            TrialResult("e", 0, {}, {"v": 1}, 0.0),
+            TrialResult("e", 1, {}, {"v": 1000}, 0.0, error="boom"),
+        ]
+        entry = aggregate(trials)["e"]
+        assert entry["metrics"]["v"]["max"] == 1
+        assert entry["ok"] == 1 and entry["failed"] == 1
+
+
+class TestParamsIsolation:
+    """Every TrialResult owns a private copy of its params dict."""
+
+    def test_per_seed_trials_do_not_share_params(self):
+        sweep = run_sweep(
+            [ExperimentSpec("e", metrics_workload, {"base": 10}, seeds=(0, 1))],
+            workers=0,
+        )
+        a, b = sweep.trials
+        assert a.params == b.params
+        assert a.params is not b.params
+        a.params["base"] = 999  # a mutating consumer cannot corrupt siblings
+        assert b.params["base"] == 10
+
+    def test_batch_trials_do_not_share_params(self):
+        spec = ExperimentSpec(
+            "e", metrics_workload, {"base": 10}, seeds=(0, 1, 2),
+            batch_fn=batch_metrics_workload, trial_batch=3,
+        )
+        sweep = run_sweep([spec], workers=0)
+        params_ids = {id(t.params) for t in sweep.trials}
+        assert len(params_ids) == 3
+
+    def test_failed_trials_do_not_share_params(self):
+        sweep = run_sweep(
+            [ExperimentSpec("f", failing_workload, {"x": 1}, seeds=(1,)),
+             ExperimentSpec("fb", metrics_workload, {"x": 1}, seeds=(0, 1),
+                            batch_fn=batch_failing_workload, trial_batch=2)],
+            workers=0,
+        )
+        ids = {id(t.params) for t in sweep.trials}
+        assert len(ids) == len(sweep.trials)
+
 
 class TestJsonEmission:
     def test_schema_and_roundtrip(self, tmp_path):
@@ -108,14 +201,32 @@ class TestJsonEmission:
             json_path=str(path),
         )
         data = json.loads(path.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert data["workers"] == 0
+        assert data["drained"] is None
         assert set(data["experiments"]) == {"e"}
         assert len(data["trials"]) == 2
+        assert all(t["attempts"] == 1 for t in data["trials"])
         assert data["experiments"]["e"]["metrics"]["value"]["mean"] == pytest.approx(
             10.5
         )
         assert sweep.elapsed >= 0
+
+    def test_write_json_is_atomic(self, tmp_path):
+        path = tmp_path / "bench.json"
+        sweep = run_sweep(
+            [ExperimentSpec("e", metrics_workload, {}, seeds=(0,))],
+            workers=0, json_path=str(path),
+        )
+        assert not (tmp_path / "bench.json.tmp").exists()
+        # A failing dump must leave the existing complete file untouched
+        # (the torn-BENCH-file scenario check_regression.py used to choke on).
+        before = path.read_text()
+        sweep.trials[0].metrics["bad"] = {1, 2}  # sets are not JSON-serializable
+        with pytest.raises(TypeError):
+            sweep.write_json(str(path))
+        assert path.read_text() == before
+        assert not (tmp_path / "bench.json.tmp").exists()
 
 
 class TestProcessPool:

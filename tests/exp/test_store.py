@@ -58,6 +58,22 @@ class TestHistoryStore:
         store = load_store()
         assert store.load_history(tmp_path / "nope.jsonl") == []
 
+    def test_rows_record_retry_attempts(self, tmp_path):
+        # Retried trials carry their attempt count into the history rows,
+        # so cross-PR queries can separate flaky cells from healthy ones.
+        from repro.exp import RetryPolicy
+        from repro.exp.workloads import chaos_flaky
+
+        store = load_store()
+        spec = ExperimentSpec(
+            "chaos/flaky@none", chaos_flaky,
+            {"succeed_after": 2, "state_dir": str(tmp_path), "label": "st"},
+            seeds=(0,), retry=RetryPolicy(max_attempts=3, base_delay=0.0),
+        )
+        rows = store.history_rows(run_sweep([spec], workers=0), commit="abc")
+        assert rows[0]["attempts"] == 2 and rows[0]["ok"]
+        assert rows[0]["schema"] == store.HISTORY_SCHEMA
+
     def test_commit_discovery_never_raises(self, tmp_path):
         store = load_store()
         assert store.current_commit(str(tmp_path)) == "unknown"  # not a repo
