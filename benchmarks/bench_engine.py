@@ -18,6 +18,13 @@ wall-clock ratios taken best-of-N with the GC paused (:func:`_harness.best_of`
   of an ``IIDMessageDrop(p=0.05)`` scenario at n = 100,000, deg ~20 at
   >= 8x the per-slot-loop (replay) baseline, and a full faulty mask-mode
   Luby run completes; both timings land in the BENCH json rows.
+* **E20**: trial batching — solving many seeds in one batched kernel call
+  beats the per-trial dense loop >= 4x.
+* **E21**: observability is free when off — a dense Luby run at
+  n = 100,000 with the default :class:`repro.obs.NullTracer` stays within
+  2% of the untraced run, and a live :class:`repro.obs.Tracer` emits
+  exactly one round record per executed round with matching active-set
+  trajectories on all three backends.
 """
 
 import time
@@ -304,4 +311,91 @@ def test_e17_engine_mis_large_sweep_scales(benchmark):
         "E17: engine scaling on torus (Luby MIS)",
         ["n", "rounds", "|MIS|", "us per node"],
         rows,
+    )
+
+
+def test_e21_noop_tracer_overhead(benchmark):
+    """Tracing must be free when off: no-op tracer within 2% at n = 100k.
+
+    Correctness first, on a small shared (graph, seed) with replayed
+    coins: a live Tracer attached to each backend — hooks on the
+    reference simulator and the CSR engine, explicit trace points in the
+    dense kernel — emits exactly one round record per executed round, and
+    the three traced active-set trajectories are identical (the runs are
+    bit-identical, so their traces must be too).  Then the gate: the
+    dense kernel's hoisted ``tracer is not None and tracer.enabled``
+    guard means a NullTracer run does no per-round tracing work, and the
+    best-of wall time must stay within 2% of the untraced run.
+    """
+    from repro.local.dense import luby_mis_dense
+    from repro.obs import NullTracer, Tracer, TracingHooks
+
+    small = random_sparse_graph(2_000, 12, seed=21)
+    net = Network(small)
+    engine = CSREngine(net)
+    engine.dense_arrays()
+
+    tracers = {
+        "reference": Tracer(backend="reference"),
+        "engine": Tracer(backend="engine"),
+        "dense": Tracer(backend="dense"),
+    }
+    results = {
+        "reference": run_local(net, LubyMIS(), seed=1,
+                               hooks=TracingHooks(tracers["reference"])),
+        "engine": engine.run(LubyMIS(), seed=1,
+                             hooks=TracingHooks(tracers["engine"])),
+        "dense": luby_mis_dense(engine, seed=1, coins="replay",
+                                tracer=tracers["dense"]),
+    }
+    rounds = {k: r.rounds for k, r in results.items()}
+    assert rounds["reference"] == rounds["engine"] == rounds["dense"]
+    for backend, tracer in tracers.items():
+        records = tracer.round_records()
+        assert len(records) == rounds[backend], (
+            f"{backend}: {len(records)} round records for "
+            f"{rounds[backend]} rounds"
+        )
+    actives = {
+        backend: [rec["active"] for rec in tracer.round_records()]
+        for backend, tracer in tracers.items()
+    }
+    assert actives["reference"] == actives["engine"] == actives["dense"]
+
+    adj = random_sparse_graph(DENSE_N, DENSE_AVG_DEGREE, seed=21)
+    big = CSREngine(Network(adj))
+    big.dense_arrays()
+    null = NullTracer()
+
+    def untraced():
+        return luby_mis_dense(big, seed=1, coins="philox")
+
+    def traced():
+        return luby_mis_dense(big, seed=1, coins="philox", tracer=null)
+
+    t_plain = best_of(untraced, repeat=5)
+    t_traced = best_of(traced, repeat=5)
+    overhead = t_traced / t_plain - 1.0
+    if overhead > 0.02:
+        t_plain = min(t_plain, best_of(untraced, repeat=5))
+        t_traced = min(t_traced, best_of(traced, repeat=5))
+        overhead = t_traced / t_plain - 1.0
+
+    benchmark(traced)
+    attach_rows(
+        benchmark,
+        "E21: no-op tracer overhead (dense Luby)",
+        ["n", "avg deg", "untraced s", "null-traced s", "overhead"],
+        [
+            (
+                DENSE_N,
+                DENSE_AVG_DEGREE,
+                f"{t_plain:.4f}",
+                f"{t_traced:.4f}",
+                f"{overhead:+.2%}",
+            )
+        ],
+    )
+    assert overhead <= 0.02, (
+        f"NullTracer run {overhead:+.2%} slower than untraced (gate: 2%)"
     )

@@ -12,11 +12,24 @@ baseline), and the check fails when a cell's median ``solve_seconds`` or
     python benchmarks/check_regression.py --current 'BENCH_ci*.json' \
         --history bench_history.jsonl --threshold 0.30
 
+The baseline queries go through the sqlite index in ``history.py``
+(built in memory from the jsonl store) rather than re-scanning raw
+lines, and the same index powers two additions on top of the step gate:
+
+* **trajectory alerts** — per-cell least-squares slope of the per-commit
+  ``solve_seconds`` medians over the last ``--slope-k`` commits; a cell
+  creeping upward faster than ``--slope-threshold`` per commit gets a
+  warning even though no single step tripped the threshold;
+* **GitHub annotations** — regressions and trajectory warnings are also
+  emitted as ``::error`` / ``::warning`` workflow commands when running
+  under Actions (or with ``--annotate``), so they land on the PR diff.
+
 Exit codes: 0 — no regression (including "no baseline yet": the first run
-on a fresh cache must pass so the gate can bootstrap); 1 — at least one
-cell regressed.  CI runs this warn-only on pull requests
-(``continue-on-error``) and hard-fails on main, where the freshly
-appended rows then become the next baseline via ``actions/cache``.
+on a fresh cache must pass so the gate can bootstrap; trajectory warnings
+never fail the check); 1 — at least one cell regressed.  CI runs this
+warn-only on pull requests (``continue-on-error``) and hard-fails on
+main, where the freshly appended rows then become the next baseline via
+``actions/cache``.
 
 Cells whose baseline median sits below the noise floor (``--min-seconds``)
 are reported but never failed: on 1-CPU shared runners a 2 ms cell can
@@ -29,19 +42,27 @@ import argparse
 import glob
 import importlib.util
 import json
-import statistics
+import os
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 
-def _load_store():
-    """The sibling ``store.py`` module (benchmarks/ is not a package)."""
-    path = Path(__file__).resolve().parent / "store.py"
-    spec = importlib.util.spec_from_file_location("bench_store", path)
+def _load_sibling(name: str, stem: str):
+    """A sibling module by file (benchmarks/ is not a package)."""
+    path = Path(__file__).resolve().parent / f"{stem}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
     mod = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(mod)
     return mod
+
+
+def _load_store():
+    return _load_sibling("bench_store", "store")
+
+
+def _load_history_mod():
+    return _load_sibling("bench_history_index", "history")
 
 
 def _backend_of(experiment: str, params: Dict[str, Any]) -> str:
@@ -72,61 +93,50 @@ def current_cells(paths: List[str]) -> Dict[Tuple[str, str], Dict[str, List[floa
     return cells
 
 
-def baseline_samples(rows: List[Dict[str, Any]]) -> Dict[str, List[float]]:
-    """Timing samples of one cell's baseline rows (history schema v1 or v2)."""
-    out: Dict[str, List[float]] = {"solve_seconds": [], "setup_seconds": []}
-    for row in rows:
-        solve = (row.get("metrics") or {}).get("solve_seconds")
-        if isinstance(solve, (int, float)):
-            out["solve_seconds"].append(float(solve))
-        setup = row.get("setup_seconds")  # absent in schema-1 rows
-        if isinstance(setup, (int, float)):
-            out["setup_seconds"].append(float(setup))
-    return out
-
-
 def check(args) -> int:
     store = _load_store()
+    hist = _load_history_mod()
     paths = sorted(p for pattern in args.current for p in glob.glob(pattern))
     if not paths:
         print(f"no current BENCH files match {args.current!r}; nothing to check")
         return 0
-    history = store.load_history(args.history)
-    if not history:
+    conn = hist.build_index(args.history)
+    if not conn.execute("SELECT 1 FROM trials LIMIT 1").fetchone():
         print(f"no history at {args.history}; baseline will seed from this run")
         return 0
     commit = store.current_commit()
     cells = current_cells(paths)
 
-    regressions = []
-    width = max((len(f"{e} [{b}]") for e, b in cells), default=10) + 2
-    print(f"{'cell':<{width}} {'metric':<14} {'baseline':>10} {'current':>10} {'delta':>8}")
-    for (experiment, backend) in sorted(cells):
-        base_rows = store.latest_baseline(
-            history, experiment, backend, exclude_commit=commit
+    # New knobs default via getattr so a bare SimpleNamespace(history,
+    # current, threshold, min_seconds) — the pre-index call shape — keeps
+    # working unchanged.
+    slope_k = getattr(args, "slope_k", 5)
+    slope_threshold = getattr(args, "slope_threshold", 0.05)
+    annotations = getattr(args, "annotate", None)
+    if annotations is None:
+        annotations = os.environ.get("GITHUB_ACTIONS") == "true"
+
+    regressions, lines = hist.find_regressions(
+        conn, commit, cells,
+        threshold=args.threshold, min_seconds=args.min_seconds,
+    )
+    for line in lines:
+        print(line)
+
+    alerts = hist.slope_alerts(
+        conn, sorted(cells), k=slope_k,
+        threshold=slope_threshold, min_seconds=args.min_seconds,
+    )
+    for alert in alerts:
+        msg = (
+            f"{alert['experiment']} [{alert['backend']}] {alert['metric']} "
+            f"median creeping {alert['relative_slope']:+.1%}/commit over the "
+            f"last {len(alert['commits'])} commits: "
+            + " -> ".join(f"{m:.4f}s" for m in alert["medians"])
         )
-        if not base_rows:
-            print(f"{f'{experiment} [{backend}]':<{width}} {'-':<14} {'(no baseline)':>10}")
-            continue
-        base = baseline_samples(base_rows)
-        for metric in ("solve_seconds", "setup_seconds"):
-            cur_vals = cells[(experiment, backend)][metric]
-            base_vals = base[metric]
-            if not cur_vals or not base_vals:
-                continue
-            cur = statistics.median(cur_vals)
-            ref = statistics.median(base_vals)
-            delta = (cur - ref) / ref if ref > 0 else 0.0
-            flag = ""
-            if delta > args.threshold and ref >= args.min_seconds:
-                regressions.append((experiment, backend, metric, ref, cur, delta))
-                flag = "  << REGRESSION"
-            elif delta > args.threshold:
-                flag = "  (below noise floor, ignored)"
-            print(
-                f"{f'{experiment} [{backend}]':<{width}} {metric:<14} "
-                f"{ref:>10.4f} {cur:>10.4f} {delta:>+7.0%}{flag}"
-            )
+        print(f"TRAJECTORY WARNING: {msg}")
+        if annotations:
+            hist.annotate("warning", "perf trajectory", msg)
 
     if regressions:
         print(
@@ -135,11 +145,13 @@ def check(args) -> int:
             file=sys.stderr,
         )
         for experiment, backend, metric, ref, cur, delta in regressions:
-            print(
-                f"  {experiment} [{backend}] {metric}: "
-                f"{ref:.4f}s -> {cur:.4f}s ({delta:+.0%})",
-                file=sys.stderr,
+            detail = (
+                f"{experiment} [{backend}] {metric}: "
+                f"{ref:.4f}s -> {cur:.4f}s ({delta:+.0%})"
             )
+            print(f"  {detail}", file=sys.stderr)
+            if annotations:
+                hist.annotate("error", "perf regression", detail)
         return 1
     print("\nno perf regressions vs the latest baseline commit")
     return 0
@@ -157,6 +169,14 @@ def main() -> int:
     parser.add_argument("--min-seconds", type=float, default=0.01,
                         help="ignore cells whose baseline median is below "
                         "this noise floor (1-CPU runner jitter)")
+    parser.add_argument("--slope-k", type=int, default=5,
+                        help="trajectory window in commits")
+    parser.add_argument("--slope-threshold", type=float, default=0.05,
+                        help="relative per-commit creep that triggers a "
+                        "trajectory warning (never fails the check)")
+    parser.add_argument("--annotate", action="store_true", default=None,
+                        help="emit GitHub ::warning/::error annotations "
+                        "(auto-detected under Actions)")
     return check(parser.parse_args())
 
 

@@ -19,6 +19,7 @@ Usage::
     python benchmarks/run_experiments.py --scenarios all  # + resilience cells
     python benchmarks/run_experiments.py --scenarios luby/crash,sinkless/crash
     python benchmarks/run_experiments.py --scenarios all --fault-mode mask
+    python benchmarks/run_experiments.py --scenarios all --trace  # round traces
     python benchmarks/run_experiments.py --legacy-tables  # old E1-E16 scrape
 
 Sweeps are fault tolerant (see :mod:`repro.exp.resilient`): every
@@ -149,7 +150,7 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense"),
 
 
 def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
-                         fault_mode: str = "replay"):
+                         fault_mode: str = "replay", trace_out=None):
     """Scenario cells for the ``--scenarios`` axis (resilience metrics).
 
     ``names`` is ``"all"`` or a comma-separated list of registry names from
@@ -158,6 +159,9 @@ def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
     deterministic fault schedule; ``fault_mode`` picks the fault-coin
     kernel (``"replay"`` — historical bit-identity schedule, ``"mask"`` —
     vectorized counter-based masks, the perf mode for dense cells).
+    ``trace_out`` threads a round-trace jsonl path into every cell: each
+    trial then records per-round tracer spans (see :mod:`repro.obs`) and
+    appends them to that file.
     """
     from repro.scenarios import FAULT_MODES, get_scenario, scenario_names
 
@@ -174,12 +178,15 @@ def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
         for backend in backends:
             if backend not in sc.backends:
                 continue
+            params = {"scenario": name, "n": n, "backend": backend,
+                      "fault_mode": fault_mode}
+            if trace_out:
+                params["trace_out"] = trace_out
             specs.append(
                 ExperimentSpec(
                     f"scenario/{name}@{backend}",
                     scenario_workload,
-                    {"scenario": name, "n": n, "backend": backend,
-                     "fault_mode": fault_mode},
+                    params,
                     seeds=seeds,
                 )
             )
@@ -254,18 +261,25 @@ def _harden_specs(specs, timeout, retries):
 
 def run_sweeps(args) -> int:
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
-    specs = build_specs(args.quick, args.seeds, backends=backends,
-                        trial_batch=args.trial_batch)
-    if args.scenarios is not None:
-        specs += build_scenario_specs(
-            args.quick, args.seeds, args.scenarios, backends, args.fault_mode
-        )
-    specs = _harden_specs(specs, args.timeout, args.retries)
     out = Path(
         args.out
         if args.out
         else f"BENCH_{datetime.date.today().isoformat()}.json"
     )
+    trace_out = None
+    if args.trace is not None:
+        trace_out = args.trace or f"{out}.trace.jsonl"
+    specs = build_specs(args.quick, args.seeds, backends=backends,
+                        trial_batch=args.trial_batch)
+    if args.scenarios is not None:
+        specs += build_scenario_specs(
+            args.quick, args.seeds, args.scenarios, backends, args.fault_mode,
+            trace_out=trace_out,
+        )
+    elif trace_out:
+        print("--trace only instruments --scenarios cells; none selected",
+              file=sys.stderr)
+    specs = _harden_specs(specs, args.timeout, args.retries)
     checkpoint = args.checkpoint if args.checkpoint is not None else f"{out}.trials.jsonl"
     checkpoint = checkpoint or None  # '' disables
     resume = None
@@ -289,6 +303,8 @@ def run_sweeps(args) -> int:
     )
     _print_summary(sweep)
     print(f"wrote {out}")
+    if trace_out and Path(trace_out).exists():
+        print(f"round traces appended to {trace_out}")
     if args.history:
         rows = _load_store().append_history(sweep, args.history)
         print(f"appended {rows} rows to {args.history}")
@@ -501,6 +517,11 @@ def main() -> int:
                         help="also sweep fault/adversary scenarios: 'all' or "
                         "comma-separated registry names from repro.scenarios "
                         "(resilience metrics land in the BENCH json)")
+    parser.add_argument("--trace", nargs="?", const="", default=None,
+                        metavar="JSONL",
+                        help="record round-level traces for --scenarios "
+                        "cells into this jsonl file (default "
+                        "<out>.trace.jsonl; see repro.obs)")
     parser.add_argument("--fault-mode", choices=("replay", "mask"),
                         default="replay",
                         help="fault-coin kernel for --scenarios cells: "

@@ -36,9 +36,12 @@ __all__ = [
 #: Schema version of one history row.  v2 added ``setup_seconds`` (the
 #: amortized one-off scenario setup each trial paid); v3 added
 #: ``attempts`` (executions the fault-tolerant runner charged, > 1 when a
-#: trial was retried).  Older rows load fine — readers treat the keys as
-#: 0.0 / 1 when absent.
-HISTORY_SCHEMA = 3
+#: trial was retried); v4 splits the setup tax into ``pack_seconds``
+#: (graph build + CSR packing) and ``rng_seconds`` (per-run RNG
+#: construction — the O(n) node_rng tax).  Older rows load fine — readers
+#: treat the keys as 0.0 / 1 when absent (``pack_seconds`` defaults to the
+#: row's ``setup_seconds``).
+HISTORY_SCHEMA = 4
 
 
 def current_commit(cwd: Optional[str] = None) -> str:
@@ -83,6 +86,8 @@ def history_rows(sweep, commit: Optional[str] = None) -> List[Dict[str, Any]]:
             "error": t.error,
             "elapsed": t.elapsed,
             "setup_seconds": t.setup_seconds,
+            "pack_seconds": getattr(t, "pack_seconds", t.setup_seconds),
+            "rng_seconds": getattr(t, "rng_seconds", 0.0),
             "attempts": getattr(t, "attempts", 1),
             "written_at": written_at,
             "params": t.params,

@@ -22,7 +22,14 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bipartite.instance import BLUE, RED, BipartiteInstance, Coloring
-from repro.local.network import NO_BROADCAST, LocalAlgorithm, Network, NodeView, run_local
+from repro.local.network import (
+    NO_BROADCAST,
+    LocalAlgorithm,
+    Network,
+    NodeView,
+    RoundHooks,
+    run_local,
+)
 
 __all__ = [
     "ZeroRoundColoring",
@@ -138,14 +145,20 @@ class ShatteringLocal(LocalAlgorithm):
 
 
 def run_zero_round_coloring(
-    inst: BipartiteInstance, seed: int = 0
+    inst: BipartiteInstance, seed: int = 0, hooks: Optional[RoundHooks] = None
 ) -> Tuple[Coloring, List[bool], int]:
     """Run :class:`ZeroRoundColoring` in the simulator.
+
+    ``hooks`` passes through to :func:`run_local` — e.g. a
+    :class:`~repro.obs.hooks.TracingHooks` to record round-level trace
+    records, or a scenario perturbation stack.
 
     Returns ``(coloring, satisfied flags per constraint, simulated rounds)``.
     """
     net = Network.from_bipartite(inst)
-    result = run_local(net, ZeroRoundColoring(inst.n_left), max_rounds=5, seed=seed)
+    result = run_local(
+        net, ZeroRoundColoring(inst.n_left), max_rounds=5, seed=seed, hooks=hooks
+    )
     coloring: Coloring = [
         result.views[inst.n_left + v].output[1] for v in range(inst.n_right)
     ]
@@ -154,16 +167,21 @@ def run_zero_round_coloring(
 
 
 def run_shattering_local(
-    inst: BipartiteInstance, seed: int = 0
+    inst: BipartiteInstance, seed: int = 0, hooks: Optional[RoundHooks] = None
 ) -> Tuple[Coloring, List[bool], int]:
     """Run :class:`ShatteringLocal` in the simulator.
+
+    ``hooks`` passes through to :func:`run_local` (tracing or perturbation
+    stacks; see :func:`run_zero_round_coloring`).
 
     Returns ``(partial coloring, satisfied flags, simulated rounds)``.  A
     constraint's flag is True iff it sees both colors after the uncoloring
     phase — the complement of Section 2.4's "unsatisfied".
     """
     net = Network.from_bipartite(inst)
-    result = run_local(net, ShatteringLocal(inst.n_left), max_rounds=6, seed=seed)
+    result = run_local(
+        net, ShatteringLocal(inst.n_left), max_rounds=6, seed=seed, hooks=hooks
+    )
     coloring: Coloring = [
         result.views[inst.n_left + v].output[1] for v in range(inst.n_right)
     ]

@@ -211,6 +211,12 @@ class ResilientExecutor:
     for progress reporting and incremental checkpointing.  :meth:`run`
     returns ``(unfinished_tasks, drain_reason)``; ``unfinished_tasks`` is
     empty unless a drain was requested.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`, optional)
+    receives the executor's lifecycle counters under the ``executor.``
+    prefix — dispatches, timeouts, pool rebuilds, crashes, retries,
+    quarantines, drain requests — so a sweep's infrastructure behaviour is
+    part of its recorded result, not just its logs.
     """
 
     #: upper bound on one ``wait()`` so drain requests are noticed promptly
@@ -222,6 +228,7 @@ class ResilientExecutor:
         workers: int,
         on_result: Callable[[Any], None],
         drain_grace: float = 5.0,
+        metrics=None,
     ) -> None:
         require(workers >= 1, "pooled execution needs workers >= 1")
         self.queue: deque = deque(tasks)
@@ -230,9 +237,14 @@ class ResilientExecutor:
         self.drain_grace = float(drain_grace)
         self.in_flight: Dict[Any, Task] = {}
         self.drain_reason: Optional[str] = None
+        self.metrics = metrics
         self._draining = False
         self._pool_rebuilds = 0
         self._rng = random.Random(0x5EED_F00D)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
 
     # -- public control ----------------------------------------------------
 
@@ -240,6 +252,7 @@ class ResilientExecutor:
         """Stop dispatching; collect what finishes within the grace period."""
         if self.drain_reason is None:
             self.drain_reason = reason
+            self._count("executor.drains")
 
     @property
     def pool_rebuilds(self) -> int:
@@ -254,6 +267,7 @@ class ResilientExecutor:
     def _rebuild(self, pool: ProcessPoolExecutor) -> ProcessPoolExecutor:
         _kill_pool(pool)
         self._pool_rebuilds += 1
+        self._count("executor.pool_rebuilds")
         return self._new_pool()
 
     def _submit(self, pool: ProcessPoolExecutor, task: Task) -> None:
@@ -266,6 +280,7 @@ class ResilientExecutor:
         )
         future = pool.submit(runner, task.name, task.fn, task.params, task.seed)
         self.in_flight[future] = task
+        self._count("executor.dispatches")
 
     def _dispatch(self, pool: ProcessPoolExecutor) -> None:
         if self.drain_reason is not None:
@@ -322,8 +337,11 @@ class ResilientExecutor:
             and task.attempts < policy.max_attempts
             and policy.is_retryable(error)
         ):
+            self._count("executor.retries")
             self._requeue(task, policy.delay(task.attempts, self._rng))
             return
+        if policy is not None and task.attempts >= policy.max_attempts:
+            self._count("executor.quarantines")
         elapsed = time.monotonic() - task.dispatched_at if task.dispatched_at else 0.0
         if results is None:
             results = _synth_failures(task, error, elapsed)
@@ -354,6 +372,7 @@ class ResilientExecutor:
         self.in_flight.clear()
         if len(suspects) == 1 or any(t.solo for t in suspects):
             for task in suspects:
+                self._count("executor.crashes")
                 self._failed(task, CRASH_ERROR)
         else:
             for task in suspects:
@@ -368,6 +387,7 @@ class ResilientExecutor:
             return pool
         for future in overdue:
             task = self.in_flight.pop(future)
+            self._count("executor.timeouts")
             self._failed(
                 task,
                 f"{TIMEOUT_ERROR_PREFIX}: exceeded {task.timeout:.6g}s deadline",

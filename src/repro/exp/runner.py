@@ -60,8 +60,11 @@ Workload = Callable[..., Dict[str, Any]]
 
 #: JSON schema version of the sweep result format.  v2 added per-trial
 #: ``attempts`` (retry accounting) and the top-level ``drained`` marker;
-#: v1 readers that ignore unknown keys load v2 files unchanged.
-RESULTS_SCHEMA = 2
+#: v3 splits the per-trial setup tax into ``pack_seconds`` (graph build +
+#: CSR packing) and ``rng_seconds`` (per-run RNG construction) and adds the
+#: top-level ``metrics`` snapshot (sweep counters/gauges/histograms).
+#: Readers that ignore unknown keys load newer files unchanged.
+RESULTS_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -122,6 +125,12 @@ class TrialResult:
     error: Optional[str] = None  #: exception repr if the trial failed
     setup_seconds: float = 0.0  #: one-off scenario setup (engine packing) paid by this trial
     attempts: int = 1  #: executions charged (retries + the recorded outcome)
+    #: the setup tax split (schema v3): ``pack_seconds`` is the graph build
+    #: + CSR packing share of ``setup_seconds``; ``rng_seconds`` the per-run
+    #: RNG construction (node_rng views or coin-table build) — the O(n)
+    #: setup tax the ROADMAP tracks, now measurable per trial.
+    pack_seconds: float = 0.0
+    rng_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -135,6 +144,8 @@ class TrialResult:
             "metrics": self.metrics,
             "elapsed": self.elapsed,
             "setup_seconds": self.setup_seconds,
+            "pack_seconds": self.pack_seconds,
+            "rng_seconds": self.rng_seconds,
             "error": self.error,
             "attempts": self.attempts,
         }
@@ -143,8 +154,11 @@ class TrialResult:
     def from_dict(cls, row: Dict[str, Any]) -> "TrialResult":
         """Rebuild a trial from its :meth:`to_dict` form (checkpoint rows).
 
-        Tolerant of older rows: ``attempts`` defaults to 1 when absent.
+        Tolerant of older rows: ``attempts`` defaults to 1, the v3 setup
+        split to ``pack_seconds=setup_seconds`` / ``rng_seconds=0`` when
+        absent.
         """
+        setup = float(row.get("setup_seconds", 0.0))
         return cls(
             experiment=row["experiment"],
             seed=row["seed"],
@@ -152,8 +166,10 @@ class TrialResult:
             metrics=row.get("metrics") or {},
             elapsed=float(row.get("elapsed", 0.0)),
             error=row.get("error"),
-            setup_seconds=float(row.get("setup_seconds", 0.0)),
+            setup_seconds=setup,
             attempts=int(row.get("attempts", 1)),
+            pack_seconds=float(row.get("pack_seconds", setup)),
+            rng_seconds=float(row.get("rng_seconds", 0.0)),
         )
 
 
@@ -189,7 +205,12 @@ def _run_trial(
     # (CSR engine packing) amortized across a scenario's trials: the trial
     # that built the engine reports the build time, cache hits report 0, so
     # the JSON record separates build cost from per-trial solve cost.
+    # "pack_seconds"/"rng_seconds" are the v3 split of that tax: graph
+    # build + packing vs per-run RNG construction (defaults: the whole
+    # setup is packing, no measured RNG cost).
     setup = metrics.pop("setup_seconds", 0.0)
+    pack = metrics.pop("pack_seconds", setup)
+    rng = metrics.pop("rng_seconds", 0.0)
     return TrialResult(
         experiment=name,
         seed=seed,
@@ -197,6 +218,8 @@ def _run_trial(
         metrics=metrics,
         elapsed=time.perf_counter() - start,
         setup_seconds=float(setup),
+        pack_seconds=float(pack),
+        rng_seconds=float(rng),
     )
 
 
@@ -235,10 +258,13 @@ def _run_batch(
         if "elapsed" in metrics:
             metrics["workload_elapsed"] = metrics.pop("elapsed")
         setup = metrics.pop("setup_seconds", 0.0)
+        pack = metrics.pop("pack_seconds", setup)
+        rng = metrics.pop("rng_seconds", 0.0)
         results.append(
             TrialResult(
                 experiment=name, seed=s, params=dict(params), metrics=metrics,
                 elapsed=elapsed, setup_seconds=float(setup),
+                pack_seconds=float(pack), rng_seconds=float(rng),
             )
         )
     return results
@@ -277,6 +303,8 @@ def aggregate(trials: Sequence[TrialResult]) -> Dict[str, Dict[str, Any]]:
                 metrics[k] = _stats(values)
         metrics["elapsed"] = _stats([t.elapsed for t in good]) if good else {}
         metrics["setup_seconds"] = _stats([t.setup_seconds for t in good]) if good else {}
+        metrics["pack_seconds"] = _stats([t.pack_seconds for t in good]) if good else {}
+        metrics["rng_seconds"] = _stats([t.rng_seconds for t in good]) if good else {}
         summary[name] = {
             "params": group[0].params,
             "seeds": [t.seed for t in group],
@@ -309,6 +337,10 @@ class SweepResult:
     workers: int
     elapsed: float  #: wall-clock seconds for the whole sweep
     drained: Optional[str] = None  #: signal name if the sweep was drained early
+    #: snapshot of the sweep's :class:`~repro.obs.metrics.MetricsRegistry`
+    #: (executor lifecycle counters, per-cell timing histograms); None for
+    #: results rebuilt from pre-v3 JSON.
+    metrics: Optional[Dict[str, Any]] = None
 
     def summary(self) -> Dict[str, Dict[str, Any]]:
         return aggregate(self.trials)
@@ -321,6 +353,7 @@ class SweepResult:
             "workers": self.workers,
             "elapsed": self.elapsed,
             "drained": self.drained,
+            "metrics": self.metrics,
             "experiments": self.summary(),
             "trials": [t.to_dict() for t in self.trials],
         }
@@ -407,7 +440,11 @@ def _apply_resume(spec_tasks, resume):
 
 
 def _write_manifest(path, sweep: SweepResult, unfinished) -> None:
-    """Failure manifest of a drained sweep: what was *not* completed."""
+    """Failure manifest of a drained sweep: what was *not* completed.
+
+    Carries the sweep's metrics snapshot so the infrastructure state at the
+    drain (timeouts, rebuilds, retries) is preserved with the casualty list.
+    """
     doc = {
         "drained": sweep.drained,
         "completed": len(sweep.trials),
@@ -416,6 +453,7 @@ def _write_manifest(path, sweep: SweepResult, unfinished) -> None:
             for task in unfinished
             for s in task.seeds()
         ],
+        "metrics": sweep.metrics,
         "written_at": time.time(),
     }
     with open(path, "w") as fh:
@@ -461,10 +499,14 @@ def run_sweep(
       returns with ``SweepResult.drained`` set.
     """
     require(all(isinstance(s, ExperimentSpec) for s in specs), "specs must be ExperimentSpec")
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
     spec_tasks = [(spec, t) for spec in specs for t in spec.trials()]
     reused: List[TrialResult] = []
     if resume:
         spec_tasks, reused = _apply_resume(spec_tasks, resume)
+        registry.counter("sweep.resume_skips").inc(len(reused))
     if workers is None:
         workers = os.cpu_count() or 1
     start = time.perf_counter()
@@ -480,6 +522,18 @@ def run_sweep(
 
     def collect(result: TrialResult) -> None:
         results.append(result)
+        registry.counter(
+            "sweep.trials_completed" if result.ok else "sweep.trials_failed"
+        ).inc()
+        # Per-cell timing histograms: setup (pack + rng) vs solve seconds,
+        # so a sweep's recorded result answers "where did the time go" per
+        # experiment without re-reading every trial row.
+        registry.histogram(f"cell.{result.experiment}.solve_seconds").observe(
+            result.elapsed
+        )
+        registry.histogram(f"cell.{result.experiment}.setup_seconds").observe(
+            result.setup_seconds + result.rng_seconds
+        )
         if checkpoint:
             append_checkpoint(checkpoint, [result])
         if progress is not None:
@@ -497,7 +551,9 @@ def run_sweep(
             Task(name, fn, params, seed, timeout=spec.timeout, retry=spec.retry)
             for spec, (name, fn, params, seed) in spec_tasks
         ]
-        executor = ResilientExecutor(tasks, workers, collect, drain_grace=drain_grace)
+        executor = ResilientExecutor(
+            tasks, workers, collect, drain_grace=drain_grace, metrics=registry
+        )
         with drain_on_signals(executor, enabled=drain_signals):
             unfinished, drained = executor.run()
     results.sort(key=lambda t: (t.experiment, t.seed))
@@ -506,6 +562,7 @@ def run_sweep(
         workers=workers,
         elapsed=time.perf_counter() - start,
         drained=drained,
+        metrics=registry.snapshot(),
     )
     if json_path is not None:
         sweep.write_json(json_path)

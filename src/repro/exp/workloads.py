@@ -149,12 +149,14 @@ def luby_mis_workload(
     )
     engine, setup = scenario_engine(topology, n, degree, graph_seed)
     adj = engine.network.adjacency
+    rng_seconds = 0.0
     start = time.perf_counter()
     if backend == "reference":
         result = run_local(engine.network, LubyMIS(), seed=seed)
         require(result.completed, "Luby MIS did not terminate within the round cap")
         mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
         rounds = result.rounds
+        rng_seconds = result.rng_seconds
     else:
         mis, rounds = luby_mis(
             adj,
@@ -173,6 +175,8 @@ def luby_mis_workload(
         "solve_seconds": solve,
         "nodes_per_second": len(adj) / solve if solve > 0 else 0.0,
         "setup_seconds": setup,
+        "pack_seconds": setup,
+        "rng_seconds": rng_seconds,
     }
 
 
@@ -364,6 +368,7 @@ def scenario_workload(
     backend: str = "engine",
     graph_seed: int = 5,
     fault_mode: str = "replay",
+    trace_out: str = None,
 ) -> Dict[str, Any]:
     """One registered fault/adversary scenario trial (see
     :mod:`repro.scenarios`): the ``scenario=`` axis of a sweep.
@@ -378,13 +383,26 @@ def scenario_workload(
     rewritten per scenario (relabelings, multi-edge lifts), so these cells
     use the scenario runner's own per-cell cache instead of
     :func:`scenario_engine`'s.
+
+    ``trace_out``, when set, records round-level trace records for this
+    trial (tagged with the trial seed, backend and scenario) and appends
+    them to that JSONL path — torn-write-safe, so concurrent pool workers
+    appending to one file cannot corrupt earlier records.
     """
     from repro.scenarios import run_scenario
 
-    return run_scenario(
+    tracer = None
+    if trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(trial=seed, backend=backend, scenario=scenario)
+    metrics = run_scenario(
         scenario, n=n, degree=degree, seed=seed, graph_seed=graph_seed,
-        backend=backend, fault_mode=fault_mode,
+        backend=backend, fault_mode=fault_mode, tracer=tracer,
     )
+    if tracer is not None:
+        tracer.flush(trace_out)
+    return metrics
 
 
 def engine_throughput_workload(

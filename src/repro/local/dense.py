@@ -38,6 +38,7 @@ equivalence property tests in ``tests/local/test_dense.py`` enforce this).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
@@ -68,13 +69,19 @@ __all__ = [
 
 
 class DenseResult:
-    """Outcome of a dense kernel run: per-node arrays instead of NodeViews."""
+    """Outcome of a dense kernel run: per-node arrays instead of NodeViews.
 
-    __slots__ = ("rounds", "completed", "data")
+    ``rng_seconds`` is the wall time of coin-table construction (the
+    kernels' analogue of the executors' per-node ``node_rng`` setup — the
+    O(n) RNG tax the ROADMAP tracks; O(1) for counter-based coin kinds).
+    """
 
-    def __init__(self, rounds: int, completed: bool, **data):
+    __slots__ = ("rounds", "completed", "rng_seconds", "data")
+
+    def __init__(self, rounds: int, completed: bool, rng_seconds: float = 0.0, **data):
         self.rounds = rounds
         self.completed = completed
+        self.rng_seconds = rng_seconds
         self.data = data
 
     def __getattr__(self, name):
@@ -96,12 +103,13 @@ class BatchedDenseResult:
     sequential ``coins="keyed"`` run of the same kernel.
     """
 
-    __slots__ = ("seeds", "rounds", "completed", "data")
+    __slots__ = ("seeds", "rounds", "completed", "rng_seconds", "data")
 
-    def __init__(self, seeds, rounds, completed, **data):
+    def __init__(self, seeds, rounds, completed, rng_seconds: float = 0.0, **data):
         self.seeds = list(seeds)
         self.rounds = rounds
         self.completed = completed
+        self.rng_seconds = rng_seconds
         self.data = data
 
     def __getattr__(self, name):
@@ -114,10 +122,14 @@ class BatchedDenseResult:
         return len(self.seeds)
 
     def trial(self, t: int) -> DenseResult:
-        """The ``t``-th trial's slice as a sequential-shaped result."""
+        """The ``t``-th trial's slice as a sequential-shaped result.
+
+        The batch-wide RNG setup time is amortized evenly across trials.
+        """
         return DenseResult(
             int(self.rounds[t]),
             bool(self.completed[t]),
+            rng_seconds=self.rng_seconds / max(len(self.seeds), 1),
             **{key: value[t] for key, value in self.data.items()},
         )
 
@@ -285,6 +297,7 @@ def luby_mis_dense(
     coins="philox",
     max_rounds: int = 10_000,
     faults=None,
+    tracer=None,
 ) -> DenseResult:
     """Luby's MIS as dense phases; same semantics as running
     :class:`~repro.mis.luby.LubyMIS` on the engine.
@@ -303,14 +316,23 @@ def luby_mis_dense(
     a faulty dense run is bit-identical to the engine under the same
     perturbation stack.
 
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`; None or a NullTracer by
+    default) records one round record per executed round — the same round
+    numbers, active-set sizes and total as a hook-traced engine run of the
+    same seed (mask-based delivery accounting means the dense records omit
+    the per-round delivered/dropped message counts).
+
     Returns a :class:`DenseResult` with ``in_mis`` (bool array of length n)
     and ``crashed`` (bool array; all-False on a clean run).
     """
     require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
+    trace = tracer is not None and tracer.enabled
     offsets, dst_node, _ = engine.dense_arrays()
     n = engine.n
     uid = _uids(engine)
+    rng_start = time.perf_counter()
     table = as_coin_table(coins, seed, engine.network.ids)
+    rng_seconds = time.perf_counter() - rng_start
     degrees = np.diff(offsets)
 
     in_mis = degrees == 0  # isolated nodes join immediately (init)
@@ -340,9 +362,20 @@ def luby_mis_dense(
         # engine's broadcast sweep — per-node replay streams make the
         # cross-node order immaterial, the per-node draw count exact).  The
         # round tag keys the keyed kind; philox/replay ignore it.
+        if trace:
+            phase_start = time.perf_counter()
         act_idx = np.flatnonzero(active)
         r[act_idx] = table.uniforms(act_idx, tag=round1)
         rounds += 1
+        if trace:
+            # Post-round-1-crash frontier == the reference's non-halted
+            # count after the odd round (degree-0 nodes halted in init).
+            tracer.round(
+                round1,
+                active=int(active.sum()),
+                seconds=time.perf_counter() - phase_start,
+            )
+            phase_start = time.perf_counter()
         if rounds + 1 > max_rounds:
             break  # engine would stop after the odd round, mid-phase
         active2 = heard1 = heard2 = None
@@ -361,8 +394,18 @@ def luby_mis_dense(
         in_mis |= joining
         active = (active if active2 is None else active2) & ~(joining | killed)
         rounds += 1
+        if trace:
+            tracer.round(
+                rounds,
+                active=int(active.sum()),
+                seconds=time.perf_counter() - phase_start,
+            )
     return DenseResult(
-        rounds, completed=not active.any(), in_mis=in_mis, crashed=crashed
+        rounds,
+        completed=not active.any(),
+        rng_seconds=rng_seconds,
+        in_mis=in_mis,
+        crashed=crashed,
     )
 
 
@@ -508,6 +551,7 @@ def luby_mis_batched(
     max_rounds: int = 10_000,
     faults=None,
     pool_pairs: int = 4096,
+    tracer=None,
 ) -> BatchedDenseResult:
     """Luby's MIS for a batch of seeds on one graph, in one kernel call.
 
@@ -526,6 +570,10 @@ def luby_mis_batched(
     performance-default alias ``"philox"``; ``"replay"`` streams are
     consumption-ordered and cannot be batched.
 
+    ``tracer`` records one ``batch_phase`` event per communal phase (the
+    per-trial round semantics of the batched regime make per-round records
+    ambiguous; phase events carry the surviving trial/pool shape instead).
+
     Returns a :class:`BatchedDenseResult` with ``in_mis`` and ``crashed``
     of shape ``(trials, n)``.
     """
@@ -535,6 +583,7 @@ def luby_mis_batched(
         "(replay streams are consumption-ordered and cannot be batched)",
     )
     require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
+    trace = tracer is not None and tracer.enabled
     offsets, dst_node, _ = engine.dense_arrays()
     n = engine.n
     uid = _uids(engine)
@@ -642,6 +691,13 @@ def luby_mis_batched(
             completed[running] = remaining[running] == 0
             break
         round2 = round1 + 1
+        if trace:
+            tracer.event(
+                "batch_phase",
+                round=round1,
+                singles=len(singles),
+                pool_nodes=0 if pool is None else int(pool[0].shape[0]),
+            )
         # Small trials merge into the communal pool (once pooled, a trial's
         # frontier only shrinks, so it never leaves).
         small = [t for t, st in singles.items() if st[3].shape[0] <= pool_pairs]
@@ -681,6 +737,7 @@ def sinkless_trial_dense(
     max_rounds: int = 200,
     faults=None,
     strict: bool = True,
+    tracer=None,
 ) -> DenseResult:
     """Trial-and-fix sinkless orientation as dense rounds.
 
@@ -713,8 +770,13 @@ def sinkless_trial_dense(
     reference's receive phase.  Round-1 faults are not supported here —
     scenario schedules for sinkless orientation leave the proposal round
     clean.
+
+    ``tracer`` records one round record per executed round; ``active`` is
+    the surviving (non-crashed) node count, matching the hook-traced
+    reference where sinkless nodes never halt on their own.
     """
     require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
+    trace = tracer is not None and tracer.enabled
     offsets, dst_node, dst_port = engine.dense_arrays()
     n = engine.n
     uid = _uids(engine)
@@ -730,14 +792,20 @@ def sinkless_trial_dense(
     # partner[k]: the CSR slot on the other endpoint of slot k's edge.
     partner = offsets[:-1][dst_node] + dst_port
 
+    rng_start = time.perf_counter()
     table = as_coin_table(coins, seed, engine.network.ids)
+    rng_seconds = time.perf_counter() - rng_start
 
     # Round 1: per-port proposals, higher-uid endpoint's coin wins; the
     # winner's coin True means "winner's side points outward".
+    if trace:
+        phase_start = time.perf_counter()
     coins1 = table.uniform_runs(np.arange(n, dtype=np.int64), degrees, tag=1) < 0.5
     higher = uid[owner] > uid[dst_node]
     out = np.where(higher, coins1, ~coins1[partner])
     rounds = 1
+    if trace:
+        tracer.round(1, active=n, seconds=time.perf_counter() - phase_start)
 
     constrained = degrees >= min_degree
     low_view = owner < dst_node  # extraction rule: lower *index* endpoint's view
@@ -745,6 +813,8 @@ def sinkless_trial_dense(
     faults_expired = getattr(faults, "expired", None)
 
     for round_no in range(2, max_rounds + 1):
+        if trace:
+            phase_start = time.perf_counter()
         if faults is not None and faults_expired is not None and faults_expired(round_no):
             faults = None  # quiet horizon passed: fix rounds run fault-free
         if faults is not None:
@@ -773,14 +843,24 @@ def sinkless_trial_dense(
                     keep &= delivered[chosen]
                 out[partner[chosen[keep]]] = False
         rounds = round_no
+        if trace:
+            tracer.round(
+                round_no,
+                active=int(n - crashed.sum()),
+                seconds=time.perf_counter() - phase_start,
+            )
         # Probe: extract the orientation (lower-index endpoint's slot is
         # authoritative) and stop at the first round with no live sink.
         effective_out = np.where(low_view, out, ~out[partner])
         if not (constrained & ~crashed & ~_segment_or(effective_out, offsets)).any():
-            return DenseResult(rounds, completed=True, out=out, crashed=crashed)
+            return DenseResult(
+                rounds, completed=True, rng_seconds=rng_seconds, out=out, crashed=crashed
+            )
     if strict:
         raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
-    return DenseResult(rounds, completed=False, out=out, crashed=crashed)
+    return DenseResult(
+        rounds, completed=False, rng_seconds=rng_seconds, out=out, crashed=crashed
+    )
 
 
 def sinkless_trial_batched(
@@ -924,6 +1004,7 @@ def uniform_splitting_dense(
     red: int = 0,
     blue: int = 1,
     faults=None,
+    tracer=None,
 ) -> DenseResult:
     """One attempt of the 0-round splitting + 1-round verification, dense.
 
@@ -947,11 +1028,16 @@ def uniform_splitting_dense(
     (bool array); ``rounds`` is 1, the verification round, matching the
     engine's charge.
     """
+    trace = tracer is not None and tracer.enabled
     offsets, dst_node, _ = engine.dense_arrays()
     n = engine.n
     degrees = np.diff(offsets)
+    rng_start = time.perf_counter()
     table = as_coin_table(coins, seed, engine.network.ids)
+    rng_seconds = time.perf_counter() - rng_start
 
+    if trace:
+        phase_start = time.perf_counter()
     u = table.uniforms(np.arange(n, dtype=np.int64), tag=1)
     colors = np.where(u < 0.5, red, blue)
     crashed = np.zeros(n, dtype=bool)
@@ -971,7 +1057,20 @@ def uniform_splitting_dense(
     ok = bool(
         (~constrained | ((red_nbrs >= spec.lo(degrees)) & (red_nbrs <= spec.hi(degrees)))).all()
     )
-    return DenseResult(1, completed=True, colors=colors, ok=ok, crashed=crashed)
+    if trace:
+        # Every node decides and halts in the single verification round
+        # (crashed nodes are halted too), so the post-round active count is
+        # 0 — matching the hook-traced executors; survivors ride alongside.
+        tracer.round(
+            1,
+            active=0,
+            survivors=int(n - crashed.sum()),
+            ok=ok,
+            seconds=time.perf_counter() - phase_start,
+        )
+    return DenseResult(
+        1, completed=True, rng_seconds=rng_seconds, colors=colors, ok=ok, crashed=crashed
+    )
 
 
 def uniform_splitting_batched(

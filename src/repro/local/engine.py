@@ -45,6 +45,7 @@ the simulation under growing round caps.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.local.network import (
@@ -153,6 +154,7 @@ class CSREngine:
         out_slots = self.out_slots
         n = self.n
 
+        rng_start = time.perf_counter()
         views = [
             NodeView(
                 index=i,
@@ -163,6 +165,7 @@ class CSREngine:
             )
             for i in range(n)
         ]
+        rng_seconds = time.perf_counter() - rng_start
         init = algorithm.init
         for view in views:
             init(view)
@@ -265,7 +268,9 @@ class CSREngine:
                 break
             if probe is not None and probe(round_no, views):
                 break
-        return SimulationResult(rounds=rounds, views=views, completed=not active)
+        return SimulationResult(
+            rounds=rounds, views=views, completed=not active, rng_seconds=rng_seconds
+        )
 
 
 def run_local_fast(

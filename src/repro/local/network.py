@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import random
+import time
 
 from repro.utils.rng import node_rng
 from repro.utils.validation import require
@@ -221,6 +222,9 @@ class SimulationResult:
     rounds: int  #: number of executed rounds
     views: List[NodeView]  #: final node views (outputs in ``view.output``)
     completed: bool  #: True iff all nodes halted before the round cap
+    #: wall time of per-node RNG construction (the O(n) ``node_rng`` setup
+    #: tax the ROADMAP tracks; see also ``TrialResult.rng_seconds``)
+    rng_seconds: float = 0.0
 
     def outputs(self) -> List[Any]:
         """Convenience: the per-node outputs in index order."""
@@ -279,6 +283,7 @@ def run_local(
     n = network.n
     reverse_port = build_reverse_ports(network.adjacency)
 
+    rng_start = time.perf_counter()
     views = [
         NodeView(
             index=i,
@@ -289,6 +294,7 @@ def run_local(
         )
         for i in range(n)
     ]
+    rng_seconds = time.perf_counter() - rng_start
     for view in views:
         algorithm.init(view)
 
@@ -325,4 +331,9 @@ def run_local(
             hooks.after_round(round_no, views)
         if all(v.halted for v in views):
             break
-    return SimulationResult(rounds=rounds, views=views, completed=all(v.halted for v in views))
+    return SimulationResult(
+        rounds=rounds,
+        views=views,
+        completed=all(v.halted for v in views),
+        rng_seconds=rng_seconds,
+    )

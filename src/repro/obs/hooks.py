@@ -1,0 +1,70 @@
+"""Tracing as a :class:`~repro.local.network.RoundHooks` adapter.
+
+:class:`TracingHooks` turns any hook-based executor run — the reference
+:func:`~repro.local.network.run_local` or the batched
+:class:`~repro.local.engine.CSREngine` — into a traced run without touching
+the executors: it wraps an optional *inner* hooks object (the scenario
+layer's :class:`~repro.scenarios.base.PerturbationHooks`, say), delegates
+every decision to it, and records one :meth:`Tracer.round` record per
+executed round carrying the active-set size, the messages delivered and
+dropped this round, and the round's wall time.
+
+The bit-identity contract survives wrapping because the ``deliver``
+*decision* is exactly the inner hooks' (or True with no inner hooks) —
+still a pure function of ``(round_no, sender, port)``; the tracer only
+counts outcomes, and both executors consult ``deliver`` once per outgoing
+message.  Note the per-round ``delivered``/``dropped`` counts reflect the
+executor's message enumeration (the engine's broadcast fast path and the
+reference's dict loop enumerate the same messages), while the dense
+kernels' mask-based records omit them — cross-backend trace equivalence is
+asserted on rounds, active-set sizes and violations (see
+``tests/obs/test_trace_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.local.network import NodeView, RoundHooks
+
+__all__ = ["TracingHooks"]
+
+
+class TracingHooks(RoundHooks):
+    """Wrap ``inner`` hooks (may be None) and emit one round record each round."""
+
+    def __init__(self, tracer, inner: Optional[RoundHooks] = None) -> None:
+        self.tracer = tracer
+        self.inner = inner
+        self._delivered = 0
+        self._dropped = 0
+        self._round_start = 0.0
+
+    def before_round(self, round_no: int, views: List[NodeView]) -> None:
+        self._round_start = time.perf_counter()
+        self._delivered = 0
+        self._dropped = 0
+        if self.inner is not None:
+            self.inner.before_round(round_no, views)
+
+    def deliver(self, round_no: int, sender: int, port: int) -> bool:
+        # The decision is the inner hooks' own (pure in (round_no, sender,
+        # port)); counting it does not perturb any executor state.
+        ok = True if self.inner is None else self.inner.deliver(round_no, sender, port)
+        if ok:
+            self._delivered += 1
+        else:
+            self._dropped += 1
+        return ok
+
+    def after_round(self, round_no: int, views: List[NodeView]) -> None:
+        if self.inner is not None:
+            self.inner.after_round(round_no, views)
+        self.tracer.round(
+            round_no,
+            active=sum(1 for v in views if not v.halted),
+            delivered=self._delivered,
+            dropped=self._dropped,
+            seconds=time.perf_counter() - self._round_start,
+        )

@@ -1,0 +1,131 @@
+"""A zero-dependency counters/gauges/histograms registry for sweep metrics.
+
+The sweep layer (:mod:`repro.exp`) had rich *per-trial* data but no view of
+the infrastructure around the trials: how often the fault-tolerant executor
+retried, timed out, rebuilt its pool or quarantined a poison cell, how many
+trials a resume skipped, how setup time compares to solve time per cell.
+:class:`MetricsRegistry` is the minimal instrument set for that — three
+metric kinds, stdlib only, snapshot-to-dict for JSON artifacts:
+
+* **counters** — monotonically increasing event counts
+  (``registry.counter("timeouts").inc()``);
+* **gauges** — last-write-wins point values
+  (``registry.gauge("workers").set(8)``);
+* **histograms** — streaming summaries (count/sum/min/max/mean) of
+  observed values (``registry.histogram("solve_seconds/mis").observe(t)``).
+
+A snapshot is a plain nested dict, stable under ``json.dumps(sort_keys=True)``,
+recorded into :class:`~repro.exp.runner.SweepResult` and the drain-failure
+manifest so every sweep artifact carries its own execution health record.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A streaming summary of observed values (no buckets, O(1) memory)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    One registry spans one sweep: the runner and the resilient executor
+    share it, so a single :meth:`snapshot` shows dispatch counts next to
+    per-cell timing summaries.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry as a JSON-ready nested dict (sorted names)."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {
+                k: h.to_dict() for k, h in sorted(self._histograms.items())
+            },
+        }

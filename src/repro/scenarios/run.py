@@ -43,6 +43,7 @@ from repro.core.problems import UniformSplittingSpec
 from repro.local.engine import CSREngine
 from repro.local.network import Network, run_local
 from repro.mis.luby import LubyMIS
+from repro.obs.hooks import TracingHooks
 from repro.orientation.sinkless import TrialAndFixSinkless, sinks
 from repro.scenarios.base import PerturbationHooks, bind_all, quiet_after, rewrite_all
 from repro.scenarios.contracts import (
@@ -123,6 +124,7 @@ def run_scenario(
     coins: str = "philox",
     max_attempts: int = 64,
     fault_mode: str = "replay",
+    tracer=None,
 ) -> Dict[str, Any]:
     """Execute one scenario trial and return its resilience metrics.
 
@@ -142,6 +144,12 @@ def run_scenario(
     per pipeline: 10_000 (luby), 400 (sinkless — every round pays an
     O(n + m) probe, and a run that has not recovered by then is recorded
     as incomplete, which is data).
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`; None by default) records
+    one round record per executed round — via
+    :class:`~repro.obs.hooks.TracingHooks` on the hook backends, via the
+    kernels' own trace points on the dense backend — plus a final
+    ``result`` event carrying this trial's metrics.
     """
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     require(
@@ -176,22 +184,30 @@ def run_scenario(
     solve_start = time.perf_counter()
     if sc.pipeline == "luby":
         metrics = _run_luby(
-            sc, network, engine, bound, backend, seed, max_rounds, coins, layout
+            sc, network, engine, bound, backend, seed, max_rounds, coins, layout,
+            tracer=tracer,
         )
     elif sc.pipeline == "sinkless":
         metrics = _run_sinkless(
-            sc, network, engine, bound, backend, seed, max_rounds, coins, layout
+            sc, network, engine, bound, backend, seed, max_rounds, coins, layout,
+            tracer=tracer,
         )
     else:
         metrics = _run_splitting(
             sc, network, engine, backend, seed, degree, coins, max_attempts,
-            fault_mode, layout,
+            fault_mode, layout, tracer=tracer,
         )
     metrics["solve_seconds"] = time.perf_counter() - solve_start
 
     metrics["n"] = network.n
     metrics["m"] = sum(len(a) for a in network.adjacency) // 2
     metrics["setup_seconds"] = setup_seconds
+    # Split the setup tax for the analytics layer: graph build + packing
+    # (``pack_seconds``, 0.0 on a cell-cache hit) vs per-run RNG
+    # construction (``rng_seconds``, the ROADMAP's O(n) node_rng tax; the
+    # pipelines record it into metrics from their result objects).
+    metrics["pack_seconds"] = setup_seconds
+    metrics.setdefault("rng_seconds", 0.0)
     if quiet is not None and quiet > 0:
         # Rounds the run needed after the last fault injection; omitted for
         # never-settling schedules (quiet=None) and fault-free stacks.
@@ -205,10 +221,13 @@ def run_scenario(
             metrics["completed"] == 1,
             f"strict scenario {sc.name!r} did not complete",
         )
+    if tracer is not None and tracer.enabled:
+        tracer.event("result", **metrics)
     return metrics
 
 
-def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layout=None):
+def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layout=None,
+              tracer=None):
     adjacency = network.adjacency
     edge_ok = final_edge_ok(bound)
     if backend == "dense":
@@ -217,7 +236,7 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layo
 
         result = luby_mis_dense(
             engine, seed=seed, coins=coins, max_rounds=max_rounds,
-            faults=DenseFaults(engine, bound, layout=layout),
+            faults=DenseFaults(engine, bound, layout=layout), tracer=tracer,
         )
         alive = [not c for c in result.crashed]
         mis = {int(i) for i in result.in_mis.nonzero()[0]}
@@ -225,6 +244,8 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layo
         rounds = result.rounds
     else:
         hooks = PerturbationHooks(bound)
+        if tracer is not None and tracer.enabled:
+            hooks = TracingHooks(tracer, inner=hooks)
         if backend == "reference":
             result = run_local(network, LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks)
         else:
@@ -248,6 +269,7 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layo
         "independence_violations": independence,
         "domination_violations": domination,
         "violations": independence + domination,
+        "rng_seconds": getattr(result, "rng_seconds", 0.0),
     }
 
 
@@ -270,7 +292,7 @@ def _round_one_delivers_clean(b, network, layout) -> bool:
 
 
 def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
-                  layout=None):
+                  layout=None, tracer=None):
     adjacency = network.adjacency
     min_degree = sc.min_degree
     # Fault schedules for sinkless must leave round 1 (the proposal
@@ -297,7 +319,7 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
         result = sinkless_trial_dense(
             engine, min_degree=min_degree, seed=seed, coins=coins,
             max_rounds=max_rounds, faults=DenseFaults(engine, bound, layout=layout),
-            strict=False,
+            strict=False, tracer=tracer,
         )
         alive = [not c for c in result.crashed]
         from repro.local.dense import dense_orientation
@@ -307,6 +329,8 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
         rounds = result.rounds
     else:
         hooks = PerturbationHooks(bound)
+        if tracer is not None and tracer.enabled:
+            hooks = TracingHooks(tracer, inner=hooks)
 
         # Stop when no *alive* node is a full-graph sink — the strongest
         # condition the algorithm can reach: crashes are silent, so a node
@@ -338,11 +362,12 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
         "survivors": survivors,
         "crashed_nodes": network.n - survivors,
         "violations": len(remaining),
+        "rng_seconds": getattr(result, "rng_seconds", 0.0),
     }
 
 
 def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attempts,
-                   fault_mode="replay", layout=None):
+                   fault_mode="replay", layout=None, tracer=None):
     adjacency = network.adjacency
     spec = UniformSplittingSpec(eps=sc.eps, min_constrained_degree=max(2, degree // 2))
     rng = ensure_rng(seed)
@@ -353,6 +378,7 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
     alive = [True] * network.n
     accepted = False
     attempts = 0
+    rng_seconds = 0.0
     for attempts in range(1, max_attempts + 1):
         run_seed = rng.randrange(2**31)
         # Every attempt is one fresh round-1 execution, so the fault
@@ -366,12 +392,16 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
             result = uniform_splitting_dense(
                 engine, spec, seed=run_seed, coins=coins,
                 faults=DenseFaults(engine, attempt_bound, layout=layout),
+                tracer=tracer,
             )
             partition = [int(c) for c in result.colors]
             alive = [not c for c in result.crashed]
             accepted = result.ok
+            rng_seconds += result.rng_seconds
         else:
             hooks = PerturbationHooks(attempt_bound)
+            if tracer is not None and tracer.enabled:
+                hooks = TracingHooks(tracer, inner=hooks)
             algorithm = ZeroRoundSplitting(spec)
             if backend == "reference":
                 result = run_local(network, algorithm, max_rounds=1, seed=run_seed, hooks=hooks)
@@ -387,6 +417,7 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
                 for i, v in enumerate(result.views)
                 if alive[i] and v.output is not None
             )
+            rng_seconds += result.rng_seconds
         if accepted:
             break
     # Ground truth for the attempt that actually stood (its binding decides
@@ -410,4 +441,5 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
         "crashed_nodes": network.n - survivors,
         "constrained": constrained,
         "violations": len(bad),
+        "rng_seconds": rng_seconds,
     }

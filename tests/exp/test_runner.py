@@ -111,7 +111,9 @@ class TestAggregate:
         # and no workload metric appears at all
         assert entry["metrics"]["elapsed"] == {}
         assert entry["metrics"]["setup_seconds"] == {}
-        assert set(entry["metrics"]) == {"elapsed", "setup_seconds"}
+        assert set(entry["metrics"]) == {
+            "elapsed", "setup_seconds", "pack_seconds", "rng_seconds",
+        }
 
     def test_mixed_batch_and_per_seed_cells_same_name(self):
         # A per-seed cell and a batched cell may share one experiment name
@@ -201,7 +203,7 @@ class TestJsonEmission:
             json_path=str(path),
         )
         data = json.loads(path.read_text())
-        assert data["schema"] == 2
+        assert data["schema"] == 3
         assert data["workers"] == 0
         assert data["drained"] is None
         assert set(data["experiments"]) == {"e"}

@@ -1,0 +1,62 @@
+"""The zero-dependency counters/gauges/histograms registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("executor.timeouts")
+    counter.inc()
+    counter.inc(3)
+    assert counter.value == 4
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_instruments_are_created_on_first_use_and_shared():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_gauge_is_last_write_wins():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("workers")
+    gauge.set(8)
+    gauge.set(2)
+    assert gauge.value == 2.0
+
+
+def test_histogram_streams_summary_stats():
+    registry = MetricsRegistry()
+    hist = registry.histogram("cell.mis.solve_seconds")
+    for value in (0.5, 1.5, 1.0):
+        hist.observe(value)
+    stats = hist.to_dict()
+    assert stats == {"count": 3, "sum": 3.0, "min": 0.5, "max": 1.5, "mean": 1.0}
+
+
+def test_empty_histogram_snapshot_is_zeros():
+    assert MetricsRegistry().histogram("h").to_dict() == {
+        "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+    }
+
+
+def test_snapshot_is_sorted_and_json_ready():
+    registry = MetricsRegistry()
+    registry.counter("b").inc()
+    registry.counter("a").inc(2)
+    registry.gauge("g").set(1.5)
+    registry.histogram("h").observe(0.25)
+    snap = registry.snapshot()
+    assert list(snap) == ["counters", "gauges", "histograms"]
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"] == {"a": 2, "b": 1}
+    assert snap["gauges"] == {"g": 1.5}
+    assert snap["histograms"]["h"]["count"] == 1
+    json.dumps(snap, sort_keys=True)  # must be JSON-serializable as-is

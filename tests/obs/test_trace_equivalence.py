@@ -1,0 +1,77 @@
+"""Cross-backend trace equivalence.
+
+The backends are bit-identical under replayed coins (the scenario layer's
+core invariant), so their *traces* must agree too: same number of round
+records as executed rounds, same per-round active-set trajectory, same
+violation count.  This pins the dense kernels' explicit trace points to
+the hook-based executors' ``TracingHooks`` accounting — a dense trace
+point placed on the wrong side of a phase boundary shows up here as a
+diverging active count even though the run outputs still match.
+"""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.scenarios import get_scenario
+from repro.scenarios.run import run_scenario
+
+# One scenario per pipeline; together they cover all three backends and
+# all three trace-point styles (hooked loop, hooked engine, dense kernel).
+CASES = ["luby/crash", "sinkless/crash", "splitting/drop-iid"]
+
+
+def _traced_run(name, backend, seed=3):
+    tracer = Tracer(backend=backend, scenario=name)
+    metrics = run_scenario(
+        name, n=200, seed=seed, backend=backend, coins="replay", tracer=tracer
+    )
+    return tracer, metrics
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_round_record_count_matches_rounds_on_every_backend(name):
+    for backend in get_scenario(name).backends:
+        tracer, metrics = _traced_run(name, backend)
+        records = tracer.round_records()
+        assert len(records) == metrics["rounds"], (
+            f"{name}@{backend}: {len(records)} round records for "
+            f"{metrics['rounds']} rounds"
+        )
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_traced_trajectories_agree_across_backends(name):
+    summaries = {}
+    for backend in get_scenario(name).backends:
+        tracer, metrics = _traced_run(name, backend)
+        summaries[backend] = {
+            "rounds": metrics["rounds"],
+            "active": [r["active"] for r in tracer.round_records()],
+            "violations": metrics.get("violations"),
+        }
+    backends = list(summaries)
+    assert len(backends) >= 2, f"{name} has a single backend; nothing to compare"
+    first = summaries[backends[0]]
+    for other in backends[1:]:
+        assert summaries[other] == first, (
+            f"{name}: trace mismatch between {backends[0]} and {other}"
+        )
+
+
+def test_scenario_runner_emits_a_result_event():
+    tracer, metrics = _traced_run("luby/crash", "dense")
+    results = [r for r in tracer.records if r["kind"] == "result"]
+    assert len(results) == 1
+    assert results[0]["rounds"] == metrics["rounds"]
+    assert results[0]["scenario"] == "luby/crash"
+
+
+def test_untraced_and_traced_runs_return_identical_metrics():
+    plain = run_scenario("luby/crash", n=200, seed=3, backend="dense", coins="replay")
+    tracer, traced = _traced_run("luby/crash", "dense")
+    # tracing must be a pure observer: pop wall-time metrics, compare the rest
+    for metrics in (plain, traced):
+        for key in list(metrics):
+            if key.endswith("_seconds") or key == "elapsed":
+                metrics.pop(key)
+    assert plain == traced

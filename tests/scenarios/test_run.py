@@ -110,7 +110,9 @@ class TestRunScenario:
         a = run_scenario("luby/drop-iid", n=150, seed=11)
         b = run_scenario("luby/drop-iid", n=150, seed=11)
         assert a == {**b, "solve_seconds": a["solve_seconds"],
-                     "setup_seconds": a["setup_seconds"]}
+                     "setup_seconds": a["setup_seconds"],
+                     "pack_seconds": a["pack_seconds"],
+                     "rng_seconds": a["rng_seconds"]}
 
     def test_custom_adjacency_and_scenario_object(self):
         sc = Scenario(
