@@ -398,7 +398,19 @@ def find_regressions(
 # -- CLI --------------------------------------------------------------------
 
 
+def _missing_store_note(history) -> None:
+    """Friendly hint when the jsonl store has never been bootstrapped."""
+    print(
+        f"note: no results store at {history} yet — run "
+        "'python benchmarks/run_experiments.py' (its --history default "
+        "bootstraps the store) and re-index",
+        file=sys.stderr,
+    )
+
+
 def _cmd_index(args) -> int:
+    if not Path(args.history).exists():
+        _missing_store_note(args.history)
     conn = build_index(args.history, args.db)
     count = conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
     commits = conn.execute(
@@ -413,6 +425,8 @@ def _connect(args) -> sqlite3.Connection:
     in memory from the jsonl store."""
     if args.db and Path(args.db).exists():
         return open_index(args.db)
+    if not Path(args.history).exists():
+        _missing_store_note(args.history)
     return build_index(args.history)
 
 

@@ -82,11 +82,15 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense"),
     """The sweep suite: every workload across topologies x backends.
 
     ``backends`` selects the execution-backend axis for the algorithm
-    workloads (``reference`` / ``engine`` / ``dense`` /
-    ``dense-batched``); the ``engine/throughput`` cell always measures the
-    first three side by side.  ``dense-batched`` cells chunk their seeds
-    into groups of ``trial_batch`` and solve each chunk in one batched
-    kernel call (see :class:`repro.exp.runner.ExperimentSpec.batch_fn`).
+    workloads (``reference`` / ``engine`` / ``dense`` / ``dense-batched``
+    / ``dense-sharded``); the ``engine/throughput`` cell always measures
+    the first three side by side.  ``dense-batched`` cells chunk their
+    seeds into groups of ``trial_batch`` and solve each chunk in one
+    batched kernel call (see
+    :class:`repro.exp.runner.ExperimentSpec.batch_fn`); ``dense-sharded``
+    cells run each trial across a per-worker cached shard pool
+    (:func:`repro.exp.workloads.sharded_executor`), so one cell's seeds
+    share hot shard workers and report partition/halo seconds.
     Scenario graphs are fixed per cell (trial seeds drive the coins), so
     every backend and every seed of a cell reuses one packed engine.
     """
@@ -127,6 +131,8 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense"),
     methods = ["local", "dense", "random"]
     if "dense-batched" in backends:
         methods.append("dense-batched")
+    if "dense-sharded" in backends:
+        methods.append("dense-sharded")
     specs += [
         ExperimentSpec(
             f"splitting/{method}",
@@ -306,7 +312,10 @@ def run_sweeps(args) -> int:
     if trace_out and Path(trace_out).exists():
         print(f"round traces appended to {trace_out}")
     if args.history:
-        rows = _load_store().append_history(sweep, args.history)
+        store = _load_store()
+        if store.bootstrap_history(args.history):
+            print(f"bootstrapped new results store at {args.history}")
+        rows = store.append_history(sweep, args.history)
         print(f"appended {rows} rows to {args.history}")
     if args.report:
         _write_report(sweep, Path(args.report))
@@ -507,7 +516,8 @@ def main() -> int:
     parser.add_argument("--backends", default="engine,dense",
                         help="comma-separated execution backends for the "
                         "algorithm workloads "
-                        "(reference,engine,dense,dense-batched)")
+                        "(reference,engine,dense,dense-batched,"
+                        "dense-sharded)")
     parser.add_argument("--trial-batch", type=positive_int, default=32,
                         metavar="K",
                         help="seeds per kernel call for dense-batched cells "

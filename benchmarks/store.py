@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional
 
 __all__ = [
     "current_commit",
+    "bootstrap_history",
     "history_rows",
     "append_history",
     "load_history",
@@ -55,6 +56,23 @@ def current_commit(cwd: Optional[str] = None) -> str:
         return "unknown"
     commit = proc.stdout.strip()
     return commit if proc.returncode == 0 and commit else "unknown"
+
+
+def bootstrap_history(path) -> bool:
+    """Ensure the jsonl store at ``path`` exists; True when newly created.
+
+    Fresh clones ship no ``bench_history.jsonl`` — the first
+    ``run_experiments.py --history`` run bootstraps it here (parent
+    directories included) so later appends, index builds and CI
+    regression checks all find a real file instead of special-casing
+    absence.  An existing store is left untouched.
+    """
+    path = Path(path)
+    if path.exists():
+        return False
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.touch()
+    return True
 
 
 def _backend_of(trial) -> str:

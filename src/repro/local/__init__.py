@@ -54,6 +54,14 @@ __all__ = [
     "sinkless_trial_dense",
     "dense_orientation",
     "uniform_splitting_dense",
+    # lazy sharded-backend exports (numpy + multiprocessing):
+    "ShardPlan",
+    "plan_shards",
+    "ShardedExecutor",
+    "luby_mis_sharded",
+    "luby_mis_sharded_batch",
+    "sinkless_trial_sharded",
+    "uniform_splitting_sharded",
 ]
 
 _DENSE_NAMES = frozenset(
@@ -67,10 +75,26 @@ _DENSE_NAMES = frozenset(
     }
 )
 
+_SHARDED_NAMES = frozenset(
+    {
+        "ShardPlan",
+        "plan_shards",
+        "ShardedExecutor",
+        "luby_mis_sharded",
+        "luby_mis_sharded_batch",
+        "sinkless_trial_sharded",
+        "uniform_splitting_sharded",
+    }
+)
+
 
 def __getattr__(name):  # PEP 562: defer the numpy import to first use
     if name in _DENSE_NAMES:
         from repro.local import dense
 
         return getattr(dense, name)
+    if name in _SHARDED_NAMES:
+        from repro.local import sharded
+
+        return getattr(sharded, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

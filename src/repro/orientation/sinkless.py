@@ -204,6 +204,8 @@ def run_trial_and_fix(
     engine=None,
     hooks=None,
     faults=None,
+    shards: Optional[int] = None,
+    executor=None,
 ) -> Tuple[GraphOrientation, int]:
     """Run :class:`TrialAndFixSinkless` until globally sink-free.
 
@@ -232,10 +234,33 @@ def run_trial_and_fix(
     ``(orientation, rounds)`` pairs, one per seed, each bit-identical to a
     ``method="dense", coins="keyed"`` run of that seed
     (:func:`repro.local.dense.sinkless_trial_batched`).
+
+    ``method="dense-sharded"`` runs the same trial across node-range CSR
+    shards on a persistent process pool with one halo exchange per fix
+    round (:func:`repro.local.sharded.sinkless_trial_sharded`) —
+    bit-identical per trial to ``method="dense", coins="keyed"``.  Pass
+    ``executor`` (a live :class:`~repro.local.sharded.ShardedExecutor`) to
+    keep shard workers hot across calls; ``shards`` sizes a throwaway one.
     """
     require(
-        method in ("engine", "dense", "dense-batched"), f"unknown method {method!r}"
+        method in ("engine", "dense", "dense-batched", "dense-sharded"),
+        f"unknown method {method!r}",
     )
+    if method == "dense-sharded":
+        from repro.local.dense import dense_orientation
+        from repro.local.sharded import sinkless_trial_sharded
+
+        require(
+            coins in ("philox", "keyed"),
+            f"dense-sharded runs keyed coins only, got coins={coins!r}",
+        )
+        if engine is None:
+            engine = CSREngine(Network(adj))
+        sharded = sinkless_trial_sharded(
+            engine, min_degree=min_degree, seed=seed, shards=shards,
+            max_rounds=max_rounds, faults=faults, executor=executor,
+        )
+        return dense_orientation(engine, sharded.out), sharded.rounds
     if method == "dense-batched":
         from repro.local.dense import dense_orientation, sinkless_trial_batched
 

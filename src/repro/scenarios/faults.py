@@ -43,8 +43,13 @@ class CrashNodes(Perturbation):
     ``fraction > 0``) is selected either uniformly (``select="random"``,
     keyed by fault coins on the node uids) or adversarially
     (``select="hubs"``: the highest-degree nodes go first).  Victim
-    selection is bind-time and mode-independent — the same nodes crash in
-    replay and mask fault modes.
+    selection happens once at bind time and follows the fault-coin mode:
+    ``fault_mode="mask"`` draws every node's selection coin in one
+    counter-based :func:`~repro.scenarios.base.fault_u01_array` kernel
+    call (no per-node RNG construction — the bind is O(n) numpy work, not
+    O(n) sha512 ``random.Random`` builds), while ``fault_mode="replay"``
+    reproduces the historical per-node :func:`fault_u01` selection
+    bit-for-bit.  ``select="hubs"`` is coin-free and mode-independent.
     """
 
     def __init__(self, fraction: float = 0.1, at_round: int = 3, select: str = "random"):
@@ -62,15 +67,22 @@ class CrashNodes(Perturbation):
         count = int(round(self.fraction * n))
         if self.fraction > 0 and n > 0:
             count = max(1, count)
+        if count == 0:
+            return _BoundCrash((), self.at_round)
         if self.select == "hubs":
             order = sorted(
                 range(n), key=lambda i: (-len(network.adjacency[i]), -network.ids[i])
             )
+            victims = order[:count]
         else:
-            order = sorted(
-                range(n), key=lambda i: fault_u01(fault_seed, "crash", network.ids[i])
-            )
-        return _BoundCrash(tuple(sorted(order[:count])), self.at_round)
+            import numpy as np  # lazy, like the fault-coin kernels
+
+            ids = np.asarray(network.ids, dtype=np.int64)
+            u = fault_u01_array(fault_seed, "crash", ids, mode=fault_mode)
+            # Stable argsort ties match the stable python sort the replay
+            # selection historically ran, so replay mode stays bit-compatible.
+            victims = np.argsort(u, kind="stable")[:count].tolist()
+        return _BoundCrash(tuple(sorted(int(v) for v in victims)), self.at_round)
 
 
 class _BoundCrash(BoundPerturbation):

@@ -214,3 +214,36 @@ def test_trend_and_compare_cli(tmp_path, capsys):
     assert hist.main(
         ["--history", str(path), "trend", "--experiment", "nope"]
     ) == 1
+
+
+def test_index_cli_notes_missing_store(tmp_path, capsys):
+    hist = load_history_mod()
+    missing = tmp_path / "never_bootstrapped.jsonl"
+    db = tmp_path / "hist.sqlite"
+    assert hist.main(
+        ["--history", str(missing), "--db", str(db), "index"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "no results store" in captured.err
+    assert "run_experiments.py" in captured.err
+    assert "indexed 0 trials" in captured.out
+
+
+def test_query_cli_notes_missing_store(tmp_path, capsys):
+    hist = load_history_mod()
+    missing = tmp_path / "never_bootstrapped.jsonl"
+    assert hist.main(["--history", str(missing), "regressions"]) == 0
+    captured = capsys.readouterr()
+    assert "no results store" in captured.err
+    assert "nothing to check" in captured.out
+
+
+def test_no_note_once_store_exists(tmp_path, capsys):
+    hist = load_history_mod()
+    path = tmp_path / "hist.jsonl"
+    write_jsonl(path, [row("c0", 0.1)])
+    db = tmp_path / "hist.sqlite"
+    assert hist.main(["--history", str(path), "--db", str(db), "index"]) == 0
+    captured = capsys.readouterr()
+    assert "no results store" not in captured.err
+    assert "indexed 1 trials" in captured.out

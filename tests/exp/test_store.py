@@ -155,3 +155,27 @@ class TestLatestBaseline:
         rows = [self._row("old")]
         assert store.latest_baseline(rows, "mis/sparse@engine", "dense") == []
         assert store.latest_baseline([], "mis/sparse@engine", "engine") == []
+
+
+class TestBootstrap:
+    def test_creates_missing_store_with_parents(self, tmp_path):
+        store = load_store()
+        path = tmp_path / "nested" / "bench_history.jsonl"
+        assert store.bootstrap_history(path) is True
+        assert path.exists() and path.stat().st_size == 0
+        assert store.load_history(path) == []
+
+    def test_leaves_existing_store_untouched(self, tmp_path):
+        store = load_store()
+        path = tmp_path / "bench_history.jsonl"
+        path.write_text('{"experiment": "x"}\n')
+        assert store.bootstrap_history(path) is False
+        assert path.read_text() == '{"experiment": "x"}\n'
+
+    def test_bootstrapped_store_accepts_appends(self, tmp_path):
+        store = load_store()
+        path = tmp_path / "bench_history.jsonl"
+        store.bootstrap_history(path)
+        sweep = tiny_sweep()
+        assert store.append_history(sweep, path, commit="abc") == 2
+        assert len(store.load_history(path)) == 2

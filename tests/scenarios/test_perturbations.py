@@ -75,6 +75,51 @@ class TestCrashNodes:
         with pytest.raises(ValueError):
             CrashNodes(select="typo")
 
+    def test_replay_selection_matches_historical_per_node_coins(self):
+        # The vectorized bind must reproduce the original selection rule
+        # bit-for-bit in replay mode: stable-sort the nodes by their scalar
+        # fault_u01("crash") coin and take the first `count`.
+        net = Network(cycle_graph(40))
+        bound = CrashNodes(fraction=0.25, at_round=1).bind(
+            net, fault_seed=9, fault_mode="replay"
+        )
+        order = sorted(range(net.n),
+                       key=lambda i: fault_u01(9, "crash", net.ids[i]))
+        assert bound.crashes(1) == tuple(sorted(order[:10]))
+
+    def test_mask_selection_is_deterministic_and_sized(self):
+        net = Network(cycle_graph(40))
+        first = CrashNodes(fraction=0.25, at_round=1).bind(
+            net, fault_seed=9, fault_mode="mask"
+        )
+        again = CrashNodes(fraction=0.25, at_round=1).bind(
+            net, fault_seed=9, fault_mode="mask"
+        )
+        other_seed = CrashNodes(fraction=0.25, at_round=1).bind(
+            net, fault_seed=10, fault_mode="mask"
+        )
+        assert first.crashes(1) == again.crashes(1)
+        assert len(first.crashes(1)) == 10
+        assert first.crashes(1) != other_seed.crashes(1)
+
+    def test_zero_fraction_skips_selection(self):
+        net = Network(cycle_graph(6))
+        for mode in ("replay", "mask"):
+            bound = CrashNodes(fraction=0.0, at_round=1).bind(
+                net, fault_seed=0, fault_mode=mode
+            )
+            assert bound.crashes(1) == ()
+
+    def test_hub_selection_is_mode_independent(self):
+        net = Network(star_graph(8))
+        replay = CrashNodes(fraction=0.1, select="hubs").bind(
+            net, 0, fault_mode="replay"
+        )
+        mask = CrashNodes(fraction=0.1, select="hubs").bind(
+            net, 0, fault_mode="mask"
+        )
+        assert replay.victims == mask.victims == (0,)
+
 
 class TestMessageDrops:
     def test_iid_rate_roughly_honored(self):
