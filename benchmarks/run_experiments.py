@@ -19,6 +19,7 @@ Usage::
     python benchmarks/run_experiments.py --scenarios all  # + resilience cells
     python benchmarks/run_experiments.py --scenarios luby/crash,sinkless/crash
     python benchmarks/run_experiments.py --scenarios all --fault-mode mask
+    python benchmarks/run_experiments.py --scenarios all --recover  # + repair tails
     python benchmarks/run_experiments.py --scenarios all --trace  # round traces
     python benchmarks/run_experiments.py --legacy-tables  # old E1-E16 scrape
 
@@ -156,7 +157,8 @@ def build_specs(quick: bool, num_seeds: int, backends=("engine", "dense"),
 
 
 def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
-                         fault_mode: str = "replay", trace_out=None):
+                         fault_mode: str = "replay", trace_out=None,
+                         recover: bool = False):
     """Scenario cells for the ``--scenarios`` axis (resilience metrics).
 
     ``names`` is ``"all"`` or a comma-separated list of registry names from
@@ -167,7 +169,11 @@ def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
     vectorized counter-based masks, the perf mode for dense cells).
     ``trace_out`` threads a round-trace jsonl path into every cell: each
     trial then records per-round tracer spans (see :mod:`repro.obs`) and
-    appends them to that file.
+    appends them to that file.  ``recover=True`` adds a ``+recover``
+    sibling for every cell running the same trials with the
+    self-stabilizing repair tail, so the BENCH json carries the
+    plain-vs-recovering comparison (``recovered``, ``repair_rounds``,
+    ``violations_before_recovery``) per scenario.
     """
     from repro.scenarios import FAULT_MODES, get_scenario, scenario_names
 
@@ -196,6 +202,15 @@ def build_scenario_specs(quick: bool, num_seeds: int, names: str, backends,
                     seeds=seeds,
                 )
             )
+            if recover:
+                specs.append(
+                    ExperimentSpec(
+                        f"scenario/{name}@{backend}+recover",
+                        scenario_workload,
+                        dict(params, recover=True),
+                        seeds=seeds,
+                    )
+                )
     return specs
 
 
@@ -211,7 +226,8 @@ def _print_summary(sweep) -> None:
         metrics = entry["metrics"]
         parts = []
         for key in ("rounds", "speedup", "dense_speedup", "mis_size", "violations",
-                    "survivors", "rounds_to_recover", "solve_seconds"):
+                    "survivors", "rounds_to_recover", "recovered",
+                    "repair_rounds", "solve_seconds"):
             if key in metrics:
                 value = metrics[key]["mean"]
                 parts.append(f"{key}={value:.3g}")
@@ -280,7 +296,7 @@ def run_sweeps(args) -> int:
     if args.scenarios is not None:
         specs += build_scenario_specs(
             args.quick, args.seeds, args.scenarios, backends, args.fault_mode,
-            trace_out=trace_out,
+            trace_out=trace_out, recover=args.recover,
         )
     elif trace_out:
         print("--trace only instruments --scenarios cells; none selected",
@@ -532,6 +548,12 @@ def main() -> int:
                         help="record round-level traces for --scenarios "
                         "cells into this jsonl file (default "
                         "<out>.trace.jsonl; see repro.obs)")
+    parser.add_argument("--recover", action="store_true",
+                        help="add a '+recover' sibling for every --scenarios "
+                        "cell: same trials with the self-stabilizing repair "
+                        "tail (repro.scenarios.recovery), recording "
+                        "recovered / repair_rounds / "
+                        "violations_before_recovery next to the plain cell")
     parser.add_argument("--fault-mode", choices=("replay", "mask"),
                         default="replay",
                         help="fault-coin kernel for --scenarios cells: "

@@ -204,6 +204,7 @@ def uniform_splitting(
     faults=None,
     shards: Optional[int] = None,
     executor=None,
+    recover: bool = False,
 ) -> List[int]:
     """Split a general graph's nodes red/blue per the Section 4.1 spec.
 
@@ -227,6 +228,13 @@ def uniform_splitting(
     Las-Vegas loop in a faulty environment (see :mod:`repro.scenarios`):
     acceptance is then based on what the nodes *heard*, which a lossy
     network can fool — the scenario contracts recompute ground truth.
+    ``recover=True`` (``local`` and ``dense`` methods) appends the
+    self-stabilizing detect-and-repair tail
+    (:func:`~repro.scenarios.recovery.splitting_repair`) to the final
+    attempt — violators NACK their neighborhood and redraw under the same
+    fault schedule — so the returned partition satisfies the spec on the
+    surviving graph even when the fault-blinded acceptance was wrong (or
+    never fired).
 
     ``method="dense-batched"`` runs the Las-Vegas loop for a whole batch
     of master seeds in one kernel call: pass a sequence of seeds as
@@ -297,6 +305,10 @@ def uniform_splitting(
             from repro.local.dense import uniform_splitting_dense
         else:
             algorithm = ZeroRoundSplitting(spec)
+        accepted = False
+        run_seed = 0
+        colors: List[int] = []
+        crashed: List[bool] = [False] * n
         for _ in range(max_attempts):
             run_seed = rng.randrange(2**31)
             if method == "dense":
@@ -306,19 +318,51 @@ def uniform_splitting(
                 )
                 if ledger is not None:
                     ledger.charge_simulated(dense.rounds, "0-round-splitting+check")
-                if dense.ok:
-                    return [int(c) for c in dense.colors]
-                continue
-            result = engine.run(algorithm, max_rounds=1, seed=run_seed, hooks=hooks)
-            if ledger is not None:
-                ledger.charge_simulated(result.rounds, "0-round-splitting+check")
-            # Crashed nodes (faulty environments) never output; they do not
-            # vote and their init-time color stands in for them.
-            if all(v.output[1] for v in result.views if v.output is not None):
-                return [
-                    v.output[0] if v.output is not None else v.state["color"]
-                    for v in result.views
-                ]
+                accepted = bool(dense.ok)
+                if accepted or recover:
+                    colors = [int(c) for c in dense.colors]
+                    crashed = [bool(c) for c in dense.crashed]
+            else:
+                result = engine.run(algorithm, max_rounds=1, seed=run_seed, hooks=hooks)
+                if ledger is not None:
+                    ledger.charge_simulated(result.rounds, "0-round-splitting+check")
+                # Crashed nodes (faulty environments) never output; they do
+                # not vote and their init-time color stands in for them.
+                accepted = all(
+                    v.output[1] for v in result.views if v.output is not None
+                )
+                if accepted or recover:
+                    colors = [
+                        v.output[0] if v.output is not None else v.state["color"]
+                        for v in result.views
+                    ]
+                    crashed = [bool(v.state.get("crashed")) for v in result.views]
+            if accepted:
+                break
+        if recover:
+            import numpy as np
+
+            from repro.scenarios.masks import DenseFaults
+            from repro.scenarios.recovery import (
+                bound_stack,
+                edge_ok_slot_mask,
+                splitting_repair,
+            )
+
+            bound = bound_stack(hooks=hooks, faults=faults)
+            colors_arr = np.asarray(colors, dtype=np.int64)
+            crashed_arr = np.asarray(crashed, dtype=bool)
+            rep = splitting_repair(
+                engine, DenseFaults(engine, bound) if bound else None, spec,
+                run_seed, colors_arr, crashed_arr, start_round=2, red=RED,
+                blue=BLUE, edge_ok_mask=edge_ok_slot_mask(engine, bound),
+            )
+            if ledger is not None and rep.repair_rounds:
+                ledger.charge_simulated(rep.repair_rounds, "splitting-repair")
+            if accepted or rep.recovered:
+                return [int(c) for c in colors_arr]
+        elif accepted:
+            return colors
         raise RuntimeError(
             f"{method} uniform splitting failed {max_attempts} times; "
             "constrained degrees are below the w.h.p. regime"

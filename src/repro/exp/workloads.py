@@ -461,10 +461,17 @@ def scenario_workload(
     backend: str = "engine",
     graph_seed: int = 5,
     fault_mode: str = "replay",
+    recover: bool = False,
     trace_out: str = None,
 ) -> Dict[str, Any]:
     """One registered fault/adversary scenario trial (see
     :mod:`repro.scenarios`): the ``scenario=`` axis of a sweep.
+
+    ``recover=True`` appends the self-stabilizing repair tail
+    (:mod:`repro.scenarios.recovery`) after the base run, adding the
+    ``recovered`` / ``repair_rounds`` / ``violations_before_recovery``
+    channels — the plain-vs-recovering comparison the resilience tables
+    curate.
 
     The trial seed drives both the algorithm's coins and the deterministic
     fault schedule; ``fault_mode`` picks the fault-coin kernel
@@ -491,7 +498,8 @@ def scenario_workload(
         tracer = Tracer(trial=seed, backend=backend, scenario=scenario)
     metrics = run_scenario(
         scenario, n=n, degree=degree, seed=seed, graph_seed=graph_seed,
-        backend=backend, fault_mode=fault_mode, tracer=tracer,
+        backend=backend, fault_mode=fault_mode, recover=recover,
+        tracer=tracer,
     )
     if tracer is not None:
         tracer.flush(trace_out)

@@ -250,6 +250,8 @@ def luby_round_dense(
     active2: "np.ndarray" = None,
     heard1: "np.ndarray" = None,
     heard2: "np.ndarray" = None,
+    corrupt1: "np.ndarray" = None,
+    corrupt2: "np.ndarray" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One Luby phase (priority exchange + announcement) as array ops.
 
@@ -270,13 +272,22 @@ def luby_round_dense(
       between the two rounds decided to join but never announce — and never
       enter the MIS);
     * ``heard2`` — per-slot delivery mask for the announcement round: a
-      dropped join announcement does not kill the receiver.
+      dropped join announcement does not kill the receiver;
+    * ``corrupt1`` — per-slot Byzantine mask (receiving side) for the
+      priority round: a corrupted priority from an active sender is the
+      forged always-winning payload
+      (:data:`~repro.scenarios.byzantine.FORGED_PRIORITY`), so the receiver
+      loses the comparison regardless of the genuine draws;
+    * ``corrupt2`` — per-slot Byzantine mask for the announcement round: a
+      corrupted announcement from an active sender arrives with its
+      join/stay bit flipped.
     """
     # Slot k: does the (active) neighbor at this slot beat the slot's owner?
     nbr = dst_node
-    nbr_better = active[nbr] & (
-        (r[nbr] > r[owner]) | ((r[nbr] == r[owner]) & (uid[nbr] > uid[owner]))
-    )
+    nbr_better = (r[nbr] > r[owner]) | ((r[nbr] == r[owner]) & (uid[nbr] > uid[owner]))
+    if corrupt1 is not None:
+        nbr_better |= corrupt1  # forged winner: beats any genuine priority
+    nbr_better &= active[nbr]
     if heard1 is not None:
         nbr_better &= heard1
     joining = active & ~_segment_or(nbr_better, offsets)
@@ -285,6 +296,9 @@ def luby_round_dense(
     else:
         joining = joining & active2
     announced = joining[nbr]
+    if corrupt2 is not None:
+        # Flipped join/stay bit; any *sending* (active) neighbor counts.
+        announced = (announced ^ corrupt2) & active2[nbr]
     if heard2 is not None:
         announced = announced & heard2
     killed = active2 & ~joining & _segment_or(announced, offsets)
@@ -378,7 +392,7 @@ def luby_mis_dense(
             phase_start = time.perf_counter()
         if rounds + 1 > max_rounds:
             break  # engine would stop after the odd round, mid-phase
-        active2 = heard1 = heard2 = None
+        active2 = heard1 = heard2 = corrupt1 = corrupt2 = None
         if faults is not None:
             round2 = rounds + 1
             crash = faults.crashed_at(round2)
@@ -387,9 +401,14 @@ def luby_mis_dense(
                 active2 = active & ~crash
             heard1 = faults.delivered_in(round1)
             heard2 = faults.delivered_in(round2)
+            corrupted_in = getattr(faults, "corrupted_in", None)
+            if corrupted_in is not None:
+                corrupt1 = corrupted_in(round1)
+                corrupt2 = corrupted_in(round2)
         joining, killed = luby_round_dense(
             active, r, uid, offsets, dst_node, owner,
             active2=active2, heard1=heard1, heard2=heard2,
+            corrupt1=corrupt1, corrupt2=corrupt2,
         )
         in_mis |= joining
         active = (active if active2 is None else active2) & ~(joining | killed)
@@ -583,6 +602,10 @@ def luby_mis_batched(
         "(replay streams are consumption-ordered and cannot be batched)",
     )
     require(max_rounds >= 0, f"max_rounds must be >= 0, got {max_rounds}")
+    require(
+        not getattr(faults, "corrupting", False),
+        "trial-batched kernels do not implement Byzantine corruption masks",
+    )
     trace = tracer is not None and tracer.enabled
     offsets, dst_node, _ = engine.dense_arrays()
     n = engine.n
@@ -811,6 +834,14 @@ def sinkless_trial_dense(
     low_view = owner < dst_node  # extraction rule: lower *index* endpoint's view
     crashed = np.zeros(n, dtype=bool)
     faults_expired = getattr(faults, "expired", None)
+    if faults is not None and getattr(faults, "corrupting", False):
+        # The proposal round has no slot-state representation for rewritten
+        # coins; corruption schedules for sinkless orientation must leave
+        # round 1 clean (the scenario runner enforces the same contract).
+        require(
+            faults.corrupted_out(1) is None,
+            "sinkless_trial_dense requires a corruption-free proposal round",
+        )
 
     for round_no in range(2, max_rounds + 1):
         if trace:
@@ -825,7 +856,30 @@ def sinkless_trial_dense(
         # (crashed nodes are frozen: no draws, no flips).
         sinks_own = constrained & ~crashed & ~_segment_or(out, offsets)
         sink_idx = np.flatnonzero(sinks_own)
-        if sink_idx.shape[0]:
+        corrupt = None
+        if faults is not None:
+            corrupted_out = getattr(faults, "corrupted_out", None)
+            if corrupted_out is not None:
+                corrupt = corrupted_out(round_no)
+        if corrupt is not None:
+            # Byzantine fix round: every live node sends on every port
+            # ("flip" on a sink's chosen slot, "ok" elsewhere) and the
+            # corruption flips that bit per delivered slot, so the set of
+            # perceived flips is (chosen XOR corrupt) over live endpoints.
+            if sink_idx.shape[0]:
+                ports = table.randints(sink_idx, degrees[sink_idx], tag=round_no)
+                chosen = offsets[:-1][sink_idx] + ports
+                out[chosen] = True
+            is_flip = np.zeros(m, dtype=bool)
+            if sink_idx.shape[0]:
+                is_flip[chosen] = True
+            is_flip ^= corrupt
+            mark = is_flip & ~crashed[owner] & ~crashed[dst_node]
+            delivered = faults.delivered_out(round_no)
+            if delivered is not None:
+                mark &= delivered
+            out[partner[np.flatnonzero(mark)]] = False
+        elif sink_idx.shape[0]:
             ports = table.randints(sink_idx, degrees[sink_idx], tag=round_no)
             chosen = offsets[:-1][sink_idx] + ports
             out[chosen] = True
@@ -894,6 +948,10 @@ def sinkless_trial_batched(
         "(replay streams are consumption-ordered and cannot be batched)",
     )
     require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
+    require(
+        not getattr(faults, "corrupting", False),
+        "trial-batched kernels do not implement Byzantine corruption masks",
+    )
     offsets, dst_node, dst_port = engine.dense_arrays()
     n = engine.n
     uid = _uids(engine)
@@ -1041,7 +1099,16 @@ def uniform_splitting_dense(
     u = table.uniforms(np.arange(n, dtype=np.int64), tag=1)
     colors = np.where(u < 0.5, red, blue)
     crashed = np.zeros(n, dtype=bool)
-    sent = (colors[dst_node] == red).astype(np.int64)
+    is_red = colors[dst_node] == red
+    if faults is not None:
+        corrupted_in = getattr(faults, "corrupted_in", None)
+        if corrupted_in is not None:
+            flip = corrupted_in(1)
+            if flip is not None:
+                # Byzantine color broadcast: a corrupted slot carries the
+                # opposite color (RED <-> BLUE is the whole vocabulary).
+                is_red = is_red ^ flip
+    sent = is_red.astype(np.int64)
     if faults is not None:
         crash = faults.crashed_at(1)
         if crash is not None:
@@ -1108,6 +1175,10 @@ def uniform_splitting_batched(
         "(replay streams are consumption-ordered and cannot be batched)",
     )
     require(max_attempts >= 1, f"max_attempts must be >= 1, got {max_attempts}")
+    require(
+        not getattr(faults, "corrupting", False),
+        "trial-batched kernels do not implement Byzantine corruption masks",
+    )
     offsets, dst_node, _ = engine.dense_arrays()
     n = engine.n
     degrees = np.diff(offsets)

@@ -221,9 +221,11 @@ class CSREngine:
                             box[q] = message
             else:
                 # Hook-aware twin of the loop above: one ``deliver`` consult
-                # per outgoing message, after port validation — exactly the
-                # reference's call points, so drops match message-for-message.
+                # (plus one ``transform``) per outgoing message, after port
+                # validation — exactly the reference's call points, so drops
+                # and corruptions match message-for-message.
                 deliver = hooks.deliver
+                transform = hooks.transform
                 for i, view in active:
                     slots = out_slots[i]
                     msg = broadcast(view, round_no)
@@ -235,7 +237,9 @@ class CSREngine:
                             if box is None:
                                 box = boxes[j] = {}
                                 touch(j)
-                            box[q] = msg
+                            # Per-port: a Byzantine transform may rewrite a
+                            # broadcast payload on some ports only.
+                            box[q] = transform(round_no, i, port, msg)
                     else:
                         outgoing = send(view, round_no)
                         degree = len(slots)
@@ -251,7 +255,7 @@ class CSREngine:
                             if box is None:
                                 box = boxes[j] = {}
                                 touch(j)
-                            box[q] = message
+                            box[q] = transform(round_no, i, port, message)
             # Receive phase (index order, skipping nodes halted mid-send).
             for i, view in active:
                 if view.halted:

@@ -197,6 +197,12 @@ class RoundHooks:
       the reference's dict loop enumerate messages in different orders, so
       any internal state consumption would break the bit-identity
       guarantee.
+    * :meth:`transform` — once per *delivered* message, immediately after
+      :meth:`deliver` approves it.  Returns the (possibly rewritten)
+      payload — the Byzantine corruption channel.  Like ``deliver`` it
+      **must be pure** in ``(round_no, sender, port, message)`` and must
+      not mutate the payload in place (broadcast messages are shared
+      across ports).
     * :meth:`after_round` — after the receive phase of every executed
       round (observation only, e.g. per-round violation tracking).
 
@@ -210,6 +216,10 @@ class RoundHooks:
     def deliver(self, round_no: int, sender: int, port: int) -> bool:
         """Whether the message ``sender`` emits on ``port`` arrives."""
         return True
+
+    def transform(self, round_no: int, sender: int, port: int, message):
+        """The payload actually delivered for an approved message."""
+        return message
 
     def after_round(self, round_no: int, views: List["NodeView"]) -> None:
         """Observe the state after ``round_no``'s receive phase."""
@@ -318,8 +328,10 @@ def run_local(
                     0 <= port < network.degree(i),
                     f"node {i} sent on invalid port {port}",
                 )
-                if hooks is not None and not hooks.deliver(round_no, i, port):
-                    continue
+                if hooks is not None:
+                    if not hooks.deliver(round_no, i, port):
+                        continue
+                    message = hooks.transform(round_no, i, port, message)
                 j = network.adjacency[i][port]
                 inboxes[j][reverse_port[i][port]] = message
         for i in range(n):

@@ -264,6 +264,10 @@ class _ShardFaults:
 
     def __init__(self, sp: ShardSpec, bound, node_global, owner_global, out_port):
         self.bound = tuple(bound)
+        require(
+            not any(getattr(b, "corrupts_messages", False) for b in self.bound),
+            "sharded kernels do not implement Byzantine corruption masks",
+        )
         self._crashing = any(b.crashes_nodes for b in self.bound)
         self._droppers = tuple(b for b in self.bound if b.drops_messages)
         self.quiet = quiet_after(self.bound)

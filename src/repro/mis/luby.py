@@ -92,6 +92,7 @@ def luby_mis(
     faults=None,
     shards: Optional[int] = None,
     executor=None,
+    recover: bool = False,
 ) -> Tuple[Set[int], int]:
     """Run Luby's MIS; returns (MIS node set, simulated rounds).
 
@@ -109,6 +110,11 @@ def luby_mis(
     ``hooks`` (a :class:`~repro.local.network.RoundHooks`, engine method)
     or ``faults`` (a :class:`~repro.scenarios.masks.DenseFaults`, dense
     method); under crash faults the MIS of the survivors is returned.
+    ``recover=True`` (engine and dense methods) appends the
+    self-stabilizing detect-and-repair tail
+    (:func:`~repro.scenarios.recovery.luby_repair`) under the same fault
+    schedule: the returned set is then the *repaired* survivors' MIS and
+    the round count includes the repair rounds.
 
     ``method="dense-batched"`` solves a whole *batch* of seeds in one
     kernel call: pass a sequence of seeds as ``seed`` and get back a list
@@ -131,6 +137,10 @@ def luby_mis(
     require(
         method in ("engine", "dense", "dense-batched", "dense-sharded"),
         f"unknown method {method!r}",
+    )
+    require(
+        not recover or method in ("engine", "dense"),
+        "recover=True requires method 'engine' or 'dense'",
     )
     if method == "dense-sharded":
         from repro.local.sharded import ShardedExecutor, luby_mis_sharded_batch
@@ -192,10 +202,17 @@ def luby_mis(
             engine, seed=seed, coins=coins, max_rounds=max_rounds, faults=faults
         )
         require(result.completed, "Luby MIS did not terminate within the round cap")
-        mis = {int(i) for i in result.in_mis.nonzero()[0]}
         if ledger is not None:
             ledger.charge_simulated(result.rounds, label)
+        if recover:
+            return _repair_mis(
+                engine, faults, seed, result.in_mis.copy(), result.crashed.copy(),
+                result.rounds, max_rounds, ledger, label,
+            )
+        mis = {int(i) for i in result.in_mis.nonzero()[0]}
         return mis, result.rounds
+    if engine is None and recover:
+        engine = CSREngine(Network(adjacency))
     if engine is not None:
         result = engine.run(LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks)
     else:
@@ -203,10 +220,40 @@ def luby_mis(
             Network(adjacency), LubyMIS(), max_rounds=max_rounds, seed=seed, hooks=hooks
         )
     require(result.completed, "Luby MIS did not terminate within the round cap")
-    mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
     if ledger is not None:
         ledger.charge_simulated(result.rounds, label)
+    if recover:
+        import numpy as np
+
+        from repro.scenarios.masks import DenseFaults
+        from repro.scenarios.recovery import bound_stack
+
+        bound = bound_stack(hooks=hooks)
+        in_mis = np.array([bool(v.state.get("in_mis")) for v in result.views])
+        crashed = np.array([bool(v.state.get("crashed")) for v in result.views])
+        repair_faults = DenseFaults(engine, bound) if bound else None
+        return _repair_mis(
+            engine, repair_faults, seed, in_mis, crashed, result.rounds,
+            max_rounds, ledger, label,
+        )
+    mis = {i for i, v in enumerate(result.views) if v.state.get("in_mis")}
     return mis, result.rounds
+
+
+def _repair_mis(engine, faults, seed, in_mis, crashed, rounds, max_rounds, ledger, label):
+    """Shared ``recover=True`` tail: repair in place, return survivors' MIS."""
+    import numpy as np
+
+    from repro.scenarios.recovery import luby_repair
+
+    rep = luby_repair(
+        engine, faults, seed, in_mis, crashed,
+        start_round=rounds + 1, max_rounds=max_rounds,
+    )
+    if ledger is not None and rep.repair_rounds:
+        ledger.charge_simulated(rep.repair_rounds, label + "-repair")
+    mis = {int(i) for i in np.flatnonzero(in_mis & ~crashed)}
+    return mis, rep.last_round
 
 
 def is_mis(adjacency: Sequence[Sequence[int]], mis: Set[int]) -> bool:

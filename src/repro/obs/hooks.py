@@ -58,6 +58,11 @@ class TracingHooks(RoundHooks):
             self._dropped += 1
         return ok
 
+    def transform(self, round_no: int, sender: int, port: int, message):
+        if self.inner is None:
+            return message
+        return self.inner.transform(round_no, sender, port, message)
+
     def after_round(self, round_no: int, views: List[NodeView]) -> None:
         if self.inner is not None:
             self.inner.after_round(round_no, views)

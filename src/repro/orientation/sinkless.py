@@ -206,6 +206,7 @@ def run_trial_and_fix(
     faults=None,
     shards: Optional[int] = None,
     executor=None,
+    recover: bool = False,
 ) -> Tuple[GraphOrientation, int]:
     """Run :class:`TrialAndFixSinkless` until globally sink-free.
 
@@ -228,6 +229,12 @@ def run_trial_and_fix(
     environment, see :mod:`repro.scenarios` — note the default probe here
     still demands a globally sink-free configuration; the scenario runner
     uses its own survivor-aware stopping rule under crash faults.
+    ``recover=True`` (engine and dense methods) switches to that
+    survivor-aware rule and appends the self-stabilizing detect-and-repair
+    tail (:func:`~repro.scenarios.recovery.sinkless_repair`): reconcile
+    disagreeing edge views, then fix sinks over *alive* ports only, under
+    the same fault schedule.  The fault schedule must leave round 1 (the
+    proposal exchange) clean.
 
     ``method="dense-batched"`` solves a whole batch of seeds in one kernel
     call: pass a sequence of seeds as ``seed`` and get back a list of
@@ -245,6 +252,10 @@ def run_trial_and_fix(
     require(
         method in ("engine", "dense", "dense-batched", "dense-sharded"),
         f"unknown method {method!r}",
+    )
+    require(
+        not recover or method in ("engine", "dense"),
+        "recover=True requires method 'engine' or 'dense'",
     )
     if method == "dense-sharded":
         from repro.local.dense import dense_orientation
@@ -281,8 +292,13 @@ def run_trial_and_fix(
             engine = CSREngine(Network(adj))
         dense = sinkless_trial_dense(
             engine, min_degree=min_degree, seed=seed, coins=coins,
-            max_rounds=max_rounds, faults=faults,
+            max_rounds=max_rounds, faults=faults, strict=not recover,
         )
+        if recover:
+            return _repair_orientation(
+                engine, faults, seed, dense.out.copy(), dense.crashed.copy(),
+                min_degree, dense.rounds, max_rounds,
+            )
         return dense_orientation(engine, dense.out), dense.rounds
 
     net = engine.network if engine is not None else Network(adj)
@@ -292,15 +308,54 @@ def run_trial_and_fix(
         if round_no < 2:
             return False
         orientation = _views_to_orientation(adj, _Views(views))
-        return not sinks(adj, orientation, min_degree)
+        remaining = sinks(adj, orientation, min_degree)
+        if not recover:
+            return not remaining
+        # Survivor-aware stopping (the scenario runner's rule): crashes
+        # are silent, so the algorithm can do no better than this; the
+        # repair tail owns whatever defects remain.
+        return not any(not views[v].state.get("crashed") for v in remaining)
 
     if engine is None:
         engine = CSREngine(net)
     result = engine.run(algo, max_rounds=max_rounds, seed=seed, probe=probe, hooks=hooks)
+    if recover:
+        import numpy as np
+
+        from repro.scenarios.masks import DenseFaults
+        from repro.scenarios.recovery import bound_stack
+
+        offsets, _, _ = engine.dense_arrays()
+        out = np.zeros(int(offsets[-1]), dtype=bool)
+        crashed = np.zeros(net.n, dtype=bool)
+        for i, view in enumerate(result.views):
+            base = int(offsets[i])
+            for p, is_out in view.state.get("out", {}).items():
+                out[base + p] = bool(is_out)
+            crashed[i] = bool(view.state.get("crashed"))
+        bound = bound_stack(hooks=hooks)
+        repair_faults = DenseFaults(engine, bound) if bound else None
+        return _repair_orientation(
+            engine, repair_faults, seed, out, crashed, min_degree,
+            result.rounds, max_rounds,
+        )
     orientation = _views_to_orientation(adj, result)
     if result.rounds >= 2 and not sinks(adj, orientation, min_degree):
         return orientation, result.rounds
     raise RuntimeError(f"no sinkless orientation after {max_rounds} rounds")
+
+
+def _repair_orientation(engine, faults, seed, out, crashed, min_degree, rounds,
+                        max_rounds):
+    """Shared ``recover=True`` tail: repair in place, extract orientation."""
+    from repro.local.dense import dense_orientation
+    from repro.scenarios.recovery import sinkless_repair
+
+    rep = sinkless_repair(
+        engine, faults, seed, out, crashed, min_degree,
+        start_round=rounds + 1, max_rounds=max_rounds,
+    )
+    return dense_orientation(engine, out), rep.last_round
 
 
 class _Views:

@@ -13,10 +13,17 @@ coins, the dense kernels).
 Vocabulary:
 
 * faults — :class:`CrashNodes`, :class:`IIDMessageDrop`, :class:`MuteHubs`;
+* harder fault models — :class:`CorrelatedCrash` (spatially-clustered
+  fail-stop), :class:`CorruptMessages` (Byzantine payload rewriting);
 * dynamic graphs — :class:`EdgeChurn`, :class:`LateEdges`,
   :class:`DropEdges` (supergraph + per-round delivery masking);
 * adversarial presentations — :class:`AdversarialIDs`,
   :class:`PortScramble`, :class:`MultiEdgeLift`.
+
+Recovery: ``run_scenario(..., recover=True)`` appends the self-stabilizing
+detect-and-repair layer (:mod:`repro.scenarios.recovery`) to any scenario
+run; the exact oracle in :mod:`repro.verify.certify` independently
+certifies the contract verdicts on small instances.
 
 Registered scenarios (``scenario_names()``) are runnable by name from the
 sweep CLI: ``python benchmarks/run_experiments.py --scenarios all``.
@@ -35,6 +42,12 @@ from repro.scenarios.base import (
     quiet_after,
     rewrite_all,
 )
+from repro.scenarios.byzantine import (
+    FORGED_PRIORITY,
+    CorrelatedCrash,
+    CorruptMessages,
+    corrupt_payload,
+)
 from repro.scenarios.contracts import (
     alive_mask,
     final_edge_ok,
@@ -51,6 +64,17 @@ from repro.scenarios.dynamic import (
     edge_keys,
 )
 from repro.scenarios.faults import CrashNodes, IIDMessageDrop, MuteHubs
+from repro.scenarios.recovery import (
+    REPAIR_ROUND_CAP,
+    RepairResult,
+    luby_mis_recovering,
+    luby_repair,
+    repair_hash,
+    sinkless_recovering,
+    sinkless_repair,
+    splitting_recovering,
+    splitting_repair,
+)
 from repro.scenarios.registry import (
     Scenario,
     all_scenarios,
@@ -76,6 +100,10 @@ __all__ = [
     "CrashNodes",
     "IIDMessageDrop",
     "MuteHubs",
+    "CorrelatedCrash",
+    "CorruptMessages",
+    "corrupt_payload",
+    "FORGED_PRIORITY",
     "EdgeChurn",
     "LateEdges",
     "DropEdges",
@@ -91,6 +119,16 @@ __all__ = [
     "surviving_sinks",
     "splitting_violations",
     "orientation_from_views",
+    # recovery
+    "RepairResult",
+    "REPAIR_ROUND_CAP",
+    "repair_hash",
+    "luby_repair",
+    "sinkless_repair",
+    "splitting_repair",
+    "luby_mis_recovering",
+    "sinkless_recovering",
+    "splitting_recovering",
     # registry + execution
     "Scenario",
     "register_scenario",

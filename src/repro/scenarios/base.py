@@ -226,6 +226,7 @@ class BoundPerturbation:
     #: for rounds (or whole runs) that cannot be affected.
     crashes_nodes: bool = False
     drops_messages: bool = False
+    corrupts_messages: bool = False
 
     def crashes(self, round_no: int) -> Iterable[int]:
         """Node indices that crash at the start of ``round_no``."""
@@ -234,6 +235,29 @@ class BoundPerturbation:
     def delivers(self, round_no: int, sender: int, port: int) -> bool:
         """Whether the message ``sender`` emits on ``port`` arrives."""
         return True
+
+    def corrupts(self, round_no: int, sender: int, port: int) -> bool:
+        """Whether the delivered message on this slot is rewritten in
+        transit.  Like :meth:`delivers`, a pure function of its arguments —
+        the hooked executors and the dense corruption masks consult the
+        same decision in different orders."""
+        return False
+
+    def corrupt_payload(self, message):
+        """Byzantine rewrite applied where :meth:`corrupts` fires.  Must be
+        a pure function of the payload (no coordinates, no state) so the
+        dense kernels can mirror it as per-slot semantic masks."""
+        return message
+
+    def corrupts_mask(self, round_no: int, senders, ports):
+        """Optional vectorized form of :meth:`corrupts`.
+
+        Same contract as :meth:`delivers_mask` (``None`` = nothing
+        corrupted this round, ``NotImplemented`` = scalar fallback), with
+        True meaning *corrupted*.  Must agree elementwise with
+        :meth:`corrupts`.
+        """
+        return NotImplemented
 
     def crashes_mask(self, round_no: int, n: int):
         """Optional vectorized form of :meth:`crashes`.
@@ -328,7 +352,9 @@ class PerturbationHooks(RoundHooks):
 
     ``before_round`` crashes scheduled nodes (setting ``view.halted`` and
     the ``state["crashed"]`` marker contracts key off); ``deliver`` is the
-    conjunction of the stack's pure delivery decisions.  Create a fresh
+    conjunction of the stack's pure delivery decisions; ``transform``
+    applies the Byzantine payload rewrites of every corrupting
+    perturbation whose pure ``corrupts`` decision fires.  Create a fresh
     instance per run — the ``crashed`` set is per-run bookkeeping (the
     decisions themselves are pure, so two instances over the same stack
     behave identically).
@@ -337,6 +363,7 @@ class PerturbationHooks(RoundHooks):
     def __init__(self, bound: Sequence[BoundPerturbation]):
         self.bound = tuple(bound)
         self.crashed: set = set()
+        self._corrupters = tuple(b for b in self.bound if b.corrupts_messages)
 
     def before_round(self, round_no: int, views: List[NodeView]) -> None:
         for b in self.bound:
@@ -352,3 +379,9 @@ class PerturbationHooks(RoundHooks):
             if not b.delivers(round_no, sender, port):
                 return False
         return True
+
+    def transform(self, round_no: int, sender: int, port: int, message):
+        for b in self._corrupters:
+            if b.corrupts(round_no, sender, port):
+                message = b.corrupt_payload(message)
+        return message

@@ -102,6 +102,11 @@ class DenseFaults:
         self.n = self.layout.n
         self._crashing = any(b.crashes_nodes for b in self.bound)
         self._droppers = tuple(b for b in self.bound if b.drops_messages)
+        self._corrupters = tuple(b for b in self.bound if b.corrupts_messages)
+        #: Whether the stack can rewrite payloads at all — kernels without a
+        #: corruption-mask path must refuse corrupting stacks instead of
+        #: silently ignoring them.
+        self.corrupting = bool(self._corrupters)
         #: Last round at which the stack can still change its schedule;
         #: ``None`` for never-settling stacks.
         self.quiet = quiet_after(self.bound)
@@ -118,7 +123,11 @@ class DenseFaults:
         """
         if self.quiet is None or round_no <= self.quiet:
             return False
-        return self._steady("crash") is None and self._steady("out") is None
+        return (
+            self._steady("crash") is None
+            and self._steady("out") is None
+            and self._steady("cout") is None
+        )
 
     def _steady(self, kind: str):
         """The constant mask for rounds past the quiet horizon.
@@ -154,6 +163,11 @@ class DenseFaults:
             return self._build_crash(round_no)
         if kind == "out":
             return self._build_out(round_no)
+        if kind == "cout":
+            return self._build_corrupt(round_no)
+        if kind == "cin":
+            cout = self._lookup("cout", round_no)
+            return None if cout is None else cout[self.layout.partner]
         out = self._lookup("out", round_no)
         return None if out is None else out[self.layout.partner]
 
@@ -186,6 +200,29 @@ class DenseFaults:
             mask = part if mask is None else (mask & part)
         return mask
 
+    def _build_corrupt(self, round_no: int):
+        """Per-slot corruption mask (True = payload rewritten), outgoing
+        view.  OR over the corrupters — any one rewrite leaves the payload
+        corrupted for the semantic masks the kernels apply."""
+        senders = self.layout.out_sender
+        ports = self.layout.out_port
+        np = self._np
+        mask = None
+        for b in self._corrupters:
+            part = b.corrupts_mask(round_no, senders, ports)
+            if part is NotImplemented:
+                part = np.zeros(senders.shape[0], dtype=bool)
+                corrupts = b.corrupts
+                for k in range(senders.shape[0]):
+                    if corrupts(round_no, int(senders[k]), int(ports[k])):
+                        part[k] = True
+                if not part.any():
+                    part = None
+            if part is None:
+                continue
+            mask = part if mask is None else (mask | part)
+        return mask
+
     def _scalar_sweep(self, b, round_no: int, senders, ports):
         """O(m) fallback over the pure scalar decision (third-party
         perturbations without a vectorized path)."""
@@ -214,3 +251,15 @@ class DenseFaults:
         if not self._droppers:
             return None
         return self._lookup("in", round_no)
+
+    def corrupted_out(self, round_no: int):
+        """Per-slot corruption mask (True = rewritten), outgoing view."""
+        if not self._corrupters:
+            return None
+        return self._lookup("cout", round_no)
+
+    def corrupted_in(self, round_no: int):
+        """Per-slot corruption mask, slot read as the receiving side."""
+        if not self._corrupters:
+            return None
+        return self._lookup("cin", round_no)

@@ -1,0 +1,722 @@
+"""Self-stabilizing recovery: detect-and-repair phases over a run's end state.
+
+A faulty environment (crashes, drops, Byzantine corruption — see
+:mod:`repro.scenarios.faults` and :mod:`repro.scenarios.byzantine`) can
+leave a pipeline's output violating its contract: adjacent MIS nodes seated
+by forged priorities, surviving sinks whose outgoing edges lead into
+crashed neighbors, constrained splitting nodes outside the spec bounds.
+This module adds the *recovering* variants: after the base algorithm stops,
+the nodes keep running a *detect-and-repair* phase — defensive message
+validation, restart-on-inconsistency of the violating neighborhood, gossip
+re-join of orphaned (undominated) nodes — until the contract holds on the
+surviving graph or a round cap is hit.
+
+Three structural properties make the repair layer exact and cheap to test:
+
+* **State-level repair.**  Each repair driver consumes only the end-state
+  arrays that every backend exposes bit-identically (``in_mis``/``crashed``
+  for Luby, per-slot ``out`` orientation bits for sinkless, ``colors`` for
+  splitting), plus per-round fault masks from
+  :class:`~repro.scenarios.masks.DenseFaults` and keyed repair coins.  A
+  recovering run on the hooked engine therefore matches a recovering run on
+  the dense kernels bit for bit (property-tested in
+  ``tests/scenarios/test_recovery.py``) — the repair itself is one shared
+  vectorized implementation.
+* **Faults keep landing.**  Repair rounds continue the base run's round
+  numbering, so the perturbation stack's schedule applies unchanged: a
+  Byzantine window reaching into the repair keeps corrupting repair
+  messages, crashes scheduled late keep killing repairers.  Past the
+  stack's quiet horizon every detection is exact, so a stable repair state
+  implies **zero contract violations** — certified independently by the
+  exact oracle in :mod:`repro.verify.certify`.
+* **Keyed repair coins.**  All repair randomness flows through
+  :func:`~repro.utils.rng.keyed_u01` under a dedicated salt
+  (:func:`repair_hash`), pure in ``(seed, node, round)`` — no consumption
+  order, so executors may evaluate repair decisions in any order without
+  diverging, and the repair coins never perturb the base algorithm's
+  streams.
+
+Never-settling stacks (``quiet_after=None``, e.g. ``luby/drop-iid``) get
+best-effort repair bounded by :data:`REPAIR_ROUND_CAP`; the zero-violation
+guarantee applies to settling schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import ensure_rng, keyed_u01, mix64
+from repro.utils.validation import require
+
+__all__ = [
+    "REPAIR_SALT",
+    "REPAIR_ROUND_CAP",
+    "repair_hash",
+    "RepairResult",
+    "bound_stack",
+    "edge_ok_slot_mask",
+    "luby_repair",
+    "sinkless_repair",
+    "splitting_repair",
+    "luby_mis_recovering",
+    "sinkless_recovering",
+    "splitting_recovering",
+]
+
+#: Salt xored into the (pre-hashed) trial seed so repair coins live in a
+#: namespace disjoint from both the algorithm coins and the fault coins.
+REPAIR_SALT = 0x5EC0_7E5A_1A9B_D00D
+
+#: Default bound on repair rounds — a backstop for never-settling fault
+#: schedules, far above the O(log n) tail a settling schedule needs.
+REPAIR_ROUND_CAP = 256
+
+
+def repair_hash(seed: int) -> int:
+    """64-bit key for the repair coin chain (pure function of the seed)."""
+    return mix64(mix64(int(seed)) ^ REPAIR_SALT)
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of one repair run.
+
+    ``recovered`` — the repair reached a stable, violation-free state
+    (exact past the stack's quiet horizon); ``repair_rounds`` — the number
+    of simulated rounds the repair consumed; ``last_round`` — the last
+    round number executed (base rounds + repair tail).
+    """
+
+    recovered: bool
+    repair_rounds: int
+    last_round: int
+
+
+def _round_masks(faults, round_no: int):
+    """``(crash, delivered_in, corrupted_in)`` masks for one repair round."""
+    if faults is None:
+        return None, None, None
+    corrupted_in = getattr(faults, "corrupted_in", None)
+    return (
+        faults.crashed_at(round_no),
+        faults.delivered_in(round_no),
+        corrupted_in(round_no) if corrupted_in is not None else None,
+    )
+
+
+def _budget(last_round, used, k, max_rounds, cap):
+    """Whether ``k`` more repair rounds fit under both caps."""
+    if used + k > cap:
+        return False
+    return max_rounds is None or last_round + k <= max_rounds
+
+
+def bound_stack(hooks=None, faults=None):
+    """The bound perturbation stack behind a ``hooks``/``faults`` argument.
+
+    The pipeline entry points (``luby_mis(recover=True)`` and friends)
+    receive faults either as a :class:`~repro.scenarios.masks.DenseFaults`
+    (dense methods) or as hooks (a
+    :class:`~repro.scenarios.base.PerturbationHooks`, possibly wrapped by
+    :class:`~repro.obs.hooks.TracingHooks` — the ``inner`` chain is
+    walked); both carry the bound stack the repair layer needs.
+    """
+    if faults is not None:
+        return tuple(faults.bound)
+    h = hooks
+    while h is not None:
+        b = getattr(h, "bound", None)
+        if b is not None:
+            return tuple(b)
+        h = getattr(h, "inner", None)
+    return ()
+
+
+def edge_ok_slot_mask(engine, bound):
+    """Per-slot final-graph membership mask, or ``None`` when trivial.
+
+    The conjunction of the stack's
+    :meth:`~repro.scenarios.base.BoundPerturbation.edge_alive_final`
+    predicates evaluated per CSR slot — the vector form of
+    :func:`~repro.scenarios.contracts.final_edge_ok` that the repair
+    probes consume.  Returns ``None`` when no perturbation overrides the
+    predicate (every edge final), skipping the O(m) sweep.
+    """
+    from repro.scenarios.base import BoundPerturbation
+
+    if all(
+        type(b).edge_alive_final is BoundPerturbation.edge_alive_final for b in bound
+    ):
+        return None
+    import numpy as np
+
+    from repro.local.dense import _slot_owner
+
+    offsets, _, _ = engine.dense_arrays()
+    owner = _slot_owner(offsets)
+    port = np.arange(offsets[-1], dtype=np.int64) - offsets[:-1][owner]
+    mask = np.ones(int(offsets[-1]), dtype=bool)
+    for k in range(int(offsets[-1])):
+        s, p = int(owner[k]), int(port[k])
+        if not all(b.edge_alive_final(s, p) for b in bound):
+            mask[k] = False
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Luby MIS: gossip detection + Luby-with-blockers re-election.
+# ---------------------------------------------------------------------------
+
+
+def luby_repair(
+    engine,
+    faults,
+    seed: int,
+    in_mis,
+    crashed,
+    start_round: int,
+    max_rounds: Optional[int] = None,
+    cap: int = REPAIR_ROUND_CAP,
+) -> RepairResult:
+    """Detect-and-repair for Luby MIS end states (mutates the arrays).
+
+    Iterates ``detect round; re-election phase`` until stable:
+
+    * **detect** (1 round) — every alive node gossips its MIS bit.  An MIS
+      node hearing an alive MIS neighbor *demotes* itself back to active
+      (restart-on-inconsistency: forged priorities or lost announcements
+      seated adjacent MIS nodes); an alive undecided node hearing no MIS
+      neighbor *re-activates* (gossip re-join of orphans — their dominator
+      crashed, their kill was forged, or a deleted edge orphaned them).
+      Stable = no demotions, no orphans, no active nodes.
+    * **re-election** (2 rounds) — one Luby phase over the active nodes
+      with *standing-MIS blockers*: surviving MIS nodes always block their
+      active neighbors in the priority round and always announce in the
+      join round, so repair never unseats a consistent MIS node and active
+      nodes adjacent to one are re-dominated immediately.
+
+    Detection messages ride the same faulty channel as the base run
+    (delivery and corruption masks keyed by the continuing round numbers),
+    so a Byzantine window reaching into the repair can forge demotions —
+    later detect rounds catch them; past the quiet horizon detection is
+    exact (the steady delivery mask *is* the final surviving edge set) and
+    a stable state has zero contract violations.
+    """
+    import numpy as np
+
+    from repro.local.dense import _segment_or, _slot_owner, _uids
+
+    offsets, dst_node, _ = engine.dense_arrays()
+    nbr = dst_node
+    owner = _slot_owner(offsets)
+    uid = _uids(engine)
+    n = engine.n
+    node_idx = np.arange(n, dtype=np.int64)
+    sh = repair_hash(seed)
+
+    active = np.zeros(n, dtype=bool)
+    used = 0
+    last = start_round - 1
+    recovered = False
+    while _budget(last, used, 1, max_rounds, cap):
+        # --- detect round -------------------------------------------------
+        r = last + 1
+        crash, din, cin = _round_masks(faults, r)
+        if crash is not None:
+            crashed |= crash
+        alive = ~crashed
+        bit = in_mis[nbr]
+        if cin is not None:
+            bit = bit ^ cin  # Byzantine: MIS bit flipped in transit
+        heard = bit & alive[nbr]
+        if din is not None:
+            heard = heard & din
+        heard_mis = _segment_or(heard, offsets)
+        demote = alive & in_mis & heard_mis
+        orphan = alive & ~in_mis & ~active & ~heard_mis
+        used += 1
+        last = r
+        in_mis &= ~demote
+        active = (active & alive) | demote | orphan
+        if not active.any():
+            recovered = True
+            break
+        if not _budget(last, used, 2, max_rounds, cap):
+            break
+        # --- re-election phase (2 rounds) ---------------------------------
+        r1 = last + 1
+        crash, din1, cin1 = _round_masks(faults, r1)
+        if crash is not None:
+            crashed |= crash
+        alive = ~crashed
+        act = active & alive
+        pri = keyed_u01(np, sh, node_idx, r1)
+        better = (pri[nbr] > pri[owner]) | (
+            (pri[nbr] == pri[owner]) & (uid[nbr] > uid[owner])
+        )
+        if cin1 is not None:
+            better = better | cin1  # forged-winner priority
+        block = alive[nbr] & (in_mis[nbr] | (act[nbr] & better))
+        if din1 is not None:
+            block = block & din1
+        joining = act & ~_segment_or(block, offsets)
+        r2 = r1 + 1
+        crash, din2, cin2 = _round_masks(faults, r2)
+        if crash is not None:
+            crashed |= crash
+            alive = ~crashed
+            act = act & alive
+            joining = joining & alive
+        sender = act | (in_mis & alive)
+        announced = joining[nbr] | in_mis[nbr]
+        if cin2 is not None:
+            announced = announced ^ cin2  # join <-> stay flipped in transit
+        announced = announced & sender[nbr]
+        if din2 is not None:
+            announced = announced & din2
+        killed = act & ~joining & _segment_or(announced, offsets)
+        in_mis |= joining
+        active = act & ~joining & ~killed
+        used += 2
+        last = r2
+    return RepairResult(recovered=recovered, repair_rounds=used, last_round=last)
+
+
+# ---------------------------------------------------------------------------
+# Sinkless orientation: reconcile views + alive-aware sink fixes.
+# ---------------------------------------------------------------------------
+
+
+def sinkless_repair(
+    engine,
+    faults,
+    seed: int,
+    out,
+    crashed,
+    min_degree: int,
+    start_round: int,
+    max_rounds: Optional[int] = None,
+    cap: int = REPAIR_ROUND_CAP,
+) -> RepairResult:
+    """Detect-and-repair for sinkless orientations (mutates the arrays).
+
+    Iterates two-round repair phases until the *contract* probe (surviving
+    sinks on the authoritative orientation, exactly
+    :func:`~repro.scenarios.contracts.surviving_sinks`) reaches zero:
+
+    * **reconcile** (1 round) — defensive validation of the shared edge
+      state: every alive node re-broadcasts its own direction bit per
+      port, and the higher-index endpoint adopts the complement of the
+      lower-index (authoritative) endpoint's delivered claim.  This
+      repairs the silent disagreements dropped or corrupted flip
+      announcements leave behind — a node believing it owns an outgoing
+      edge the rest of the network attributes to its neighbor.
+    * **fix** (1 round) — alive-aware sink fixing: every alive node that
+      is accountable on the *surviving* graph (>= ``min_degree`` alive
+      neighbors) and has no outgoing edge to an alive neighbor flips one
+      keyed-uniform **live** port outward (the base algorithm wastes flips
+      on edges into crashed neighbors; the repair does not).  Flip
+      announcements travel under the round's delivery and corruption
+      masks with the base kernel's exact semantics (a corrupted slot
+      flips ``flip`` <-> ``ok``).
+    """
+    import numpy as np
+
+    from repro.local.dense import _segment_or, _segment_sum, _slot_owner
+
+    offsets, dst_node, dst_port = engine.dense_arrays()
+    owner = _slot_owner(offsets)
+    partner = offsets[:-1][dst_node] + dst_port
+    low_view = owner < dst_node
+    n = engine.n
+    node_idx = np.arange(n, dtype=np.int64)
+    sh = repair_hash(seed)
+
+    used = 0
+    last = start_round - 1
+    recovered = False
+    while _budget(last, used, 2, max_rounds, cap):
+        # --- reconcile round ----------------------------------------------
+        r = last + 1
+        crash, din, cin = _round_masks(faults, r)
+        if crash is not None:
+            crashed |= crash
+        alive = ~crashed
+        claim = out[partner]  # sender's own view of the shared edge
+        if cin is not None:
+            claim = claim ^ cin
+        heard = alive[dst_node] & alive[owner]
+        if din is not None:
+            heard = heard & din
+        adopt = heard & ~low_view  # only the non-authoritative side adopts
+        out[adopt] = ~claim[adopt]
+        used += 1
+        last = r
+        # --- fix round ----------------------------------------------------
+        rb = last + 1
+        crash = faults.crashed_at(rb) if faults is not None else None
+        if crash is not None:
+            crashed |= crash
+        alive = ~crashed
+        live = alive[dst_node]
+        alive_deg = _segment_sum(live.astype(np.int64), offsets)
+        accountable = alive & (alive_deg >= min_degree)
+        sink = accountable & ~_segment_or(out & live, offsets)
+        # Choose each sink's flip among its live ports: rank the live
+        # slots within the segment and pick the keyed-uniform index.
+        exc = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(live.astype(np.int64)))
+        )[:-1]
+        rank = exc - exc[offsets[:-1][owner]]
+        target = (keyed_u01(np, sh, node_idx, rb) * alive_deg).astype(np.int64)
+        chosen = live & sink[owner] & (rank == target[owner])
+        out[chosen] = True
+        corrupted_out = getattr(faults, "corrupted_out", None)
+        cout = corrupted_out(rb) if corrupted_out is not None else None
+        dout = faults.delivered_out(rb) if faults is not None else None
+        is_flip = chosen if cout is None else (chosen ^ cout)
+        mark = is_flip & alive[owner] & alive[dst_node]
+        if dout is not None:
+            mark = mark & dout
+        out[partner[np.flatnonzero(mark)]] = False
+        used += 1
+        last = rb
+        # --- contract probe (authoritative orientation) -------------------
+        eff = np.where(low_view, out, ~out[partner])
+        good = _segment_or(eff & live, offsets)
+        if not (accountable & ~good).any():
+            recovered = True
+            break
+    return RepairResult(recovered=recovered, repair_rounds=used, last_round=last)
+
+
+# ---------------------------------------------------------------------------
+# Uniform splitting: violator NACK gossip + neighborhood redraw.
+# ---------------------------------------------------------------------------
+
+
+def splitting_repair(
+    engine,
+    faults,
+    spec,
+    seed: int,
+    colors,
+    crashed,
+    start_round: int,
+    red: int,
+    blue: int,
+    max_rounds: Optional[int] = None,
+    cap: int = REPAIR_ROUND_CAP,
+    edge_ok_mask=None,
+) -> RepairResult:
+    """Detect-and-repair for uniform splitting (mutates the arrays).
+
+    Iterates two-round repair phases until the contract
+    (:func:`~repro.scenarios.contracts.splitting_violations` on the
+    surviving graph) holds:
+
+    * **check** (1 round) — colors are re-broadcast; every alive
+      constrained node recounts its red neighbors over the colors it
+      actually heard (delivery and corruption masks applied) and flags
+      itself a violator if outside the spec bounds;
+    * **redraw** (1 round) — violators NACK their neighborhood; every
+      violator and every alive node hearing a NACK redraws its color from
+      the keyed repair chain (restart-on-inconsistency of the violating
+      neighborhood — a violator's count only moves if neighbors move with
+      it).
+
+    The stop probe is the central ground-truth recount, so ``recovered``
+    implies zero violations by construction.  ``edge_ok_mask`` (per-slot
+    bool, see :func:`edge_ok_slot_mask`) restricts the probe under
+    edge-deleting perturbations.
+    """
+    import numpy as np
+
+    from repro.local.dense import _segment_or, _segment_sum
+
+    offsets, dst_node, _ = engine.dense_arrays()
+    n = engine.n
+    node_idx = np.arange(n, dtype=np.int64)
+    sh = repair_hash(seed)
+
+    def true_violations(alive):
+        live = alive[dst_node]
+        if edge_ok_mask is not None:
+            live = live & edge_ok_mask
+        deg = _segment_sum(live.astype(np.int64), offsets)
+        red_n = _segment_sum(
+            (live & (colors[dst_node] == red)).astype(np.int64), offsets
+        )
+        constrained = alive & spec.constrains(deg)
+        return constrained & ~((red_n >= spec.lo(deg)) & (red_n <= spec.hi(deg)))
+
+    used = 0
+    last = start_round - 1
+    if not true_violations(~crashed).any():
+        return RepairResult(recovered=True, repair_rounds=0, last_round=last)
+    recovered = False
+    while _budget(last, used, 2, max_rounds, cap):
+        # --- check round --------------------------------------------------
+        r = last + 1
+        crash, din, cin = _round_masks(faults, r)
+        if crash is not None:
+            crashed |= crash
+        alive = ~crashed
+        is_red = colors[dst_node] == red
+        if cin is not None:
+            is_red = is_red ^ cin  # Byzantine: color flipped in transit
+        heard = alive[dst_node]
+        if din is not None:
+            heard = heard & din
+        deg_h = _segment_sum(heard.astype(np.int64), offsets)
+        red_h = _segment_sum((heard & is_red).astype(np.int64), offsets)
+        violator = (
+            alive
+            & spec.constrains(deg_h)
+            & ~((red_h >= spec.lo(deg_h)) & (red_h <= spec.hi(deg_h)))
+        )
+        used += 1
+        last = r
+        # --- redraw round -------------------------------------------------
+        rb = last + 1
+        crash, dinb, cinb = _round_masks(faults, rb)
+        if crash is not None:
+            crashed |= crash
+            alive = ~crashed
+            violator = violator & alive
+        nack = violator[dst_node]
+        if cinb is not None:
+            nack = nack ^ cinb
+        nack = nack & alive[dst_node]
+        if dinb is not None:
+            nack = nack & dinb
+        redraw = alive & (violator | _segment_or(nack, offsets))
+        fresh = np.where(keyed_u01(np, sh, node_idx, rb) < 0.5, red, blue)
+        colors[redraw] = fresh[redraw]
+        used += 1
+        last = rb
+        if not true_violations(alive).any():
+            recovered = True
+            break
+    return RepairResult(recovered=recovered, repair_rounds=used, last_round=last)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end recovering variants (base pipeline + repair).
+# ---------------------------------------------------------------------------
+
+
+def _build_engine(adjacency, engine):
+    if engine is not None:
+        return engine
+    from repro.local.engine import CSREngine
+    from repro.local.network import Network
+
+    return CSREngine(Network(adjacency))
+
+
+def luby_mis_recovering(
+    adjacency,
+    perturbations=(),
+    seed: int = 0,
+    fault_mode: str = "replay",
+    method: str = "engine",
+    coins="replay",
+    max_rounds: int = 10_000,
+    cap: int = REPAIR_ROUND_CAP,
+    engine=None,
+):
+    """Luby MIS with post-run detect-and-repair.
+
+    Runs the base pipeline under the bound perturbation stack on the
+    requested backend (``method="engine"`` — hooked CSR engine,
+    ``method="dense"`` — masked numpy kernel, bit-identical to the engine
+    with ``coins="replay"``), then applies :func:`luby_repair`.  Returns
+    ``(mis, rounds, repair)``: the surviving nodes' MIS set, the total
+    simulated rounds (base + repair tail) and the :class:`RepairResult`.
+    """
+    import numpy as np
+
+    from repro.scenarios.base import PerturbationHooks, bind_all
+    from repro.scenarios.masks import DenseFaults
+
+    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    engine = _build_engine(adjacency, engine)
+    bound = bind_all(perturbations, engine.network, seed, fault_mode)
+    if method == "dense":
+        from repro.local.dense import luby_mis_dense
+
+        result = luby_mis_dense(
+            engine, seed=seed, coins=coins, max_rounds=max_rounds,
+            faults=DenseFaults(engine, bound),
+        )
+        in_mis = result.in_mis.copy()
+        crashed = result.crashed.copy()
+        rounds = result.rounds
+    else:
+        from repro.mis.luby import LubyMIS
+
+        result = engine.run(
+            LubyMIS(), max_rounds=max_rounds, seed=seed,
+            hooks=PerturbationHooks(bound),
+        )
+        in_mis = np.array([bool(v.state.get("in_mis")) for v in result.views])
+        crashed = np.array([bool(v.state.get("crashed")) for v in result.views])
+        rounds = result.rounds
+    repair = luby_repair(
+        engine, DenseFaults(engine, bound), seed, in_mis, crashed,
+        start_round=rounds + 1, max_rounds=max_rounds, cap=cap,
+    )
+    mis = {int(i) for i in np.flatnonzero(in_mis & ~crashed)}
+    return mis, repair.last_round, repair
+
+
+def sinkless_recovering(
+    adjacency,
+    perturbations=(),
+    min_degree: int = 1,
+    seed: int = 0,
+    fault_mode: str = "replay",
+    method: str = "engine",
+    coins="replay",
+    max_rounds: int = 400,
+    cap: int = REPAIR_ROUND_CAP,
+    engine=None,
+):
+    """Trial-and-fix sinkless orientation with post-run detect-and-repair.
+
+    Runs the base trial-and-fix under the bound stack (non-strict: an
+    unrecovered base run is the repair's starting point, not an error),
+    then applies :func:`sinkless_repair`.  The perturbation schedule must
+    leave round 1 (the proposal exchange) clean, like every sinkless
+    scenario.  Returns ``(orientation, rounds, repair)`` with the
+    authoritative orientation dict over all nodes.
+    """
+    import numpy as np
+
+    from repro.local.dense import dense_orientation
+    from repro.scenarios.base import PerturbationHooks, bind_all
+    from repro.scenarios.masks import DenseFaults
+
+    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    engine = _build_engine(adjacency, engine)
+    network = engine.network
+    bound = bind_all(perturbations, network, seed, fault_mode)
+    if method == "dense":
+        from repro.local.dense import sinkless_trial_dense
+
+        result = sinkless_trial_dense(
+            engine, min_degree=min_degree, seed=seed, coins=coins,
+            max_rounds=max_rounds, faults=DenseFaults(engine, bound),
+            strict=False,
+        )
+        out = result.out.copy()
+        crashed = result.crashed.copy()
+        rounds = result.rounds
+    else:
+        from repro.orientation.sinkless import TrialAndFixSinkless, sinks
+        from repro.scenarios.contracts import alive_mask, orientation_from_views
+
+        def probe(round_no, views):
+            if round_no < 2:
+                return False
+            orientation = orientation_from_views(network.adjacency, views)
+            alive = alive_mask(views)
+            return not any(
+                alive[v] for v in sinks(network.adjacency, orientation, min_degree)
+            )
+
+        result = engine.run(
+            TrialAndFixSinkless(min_degree=min_degree), max_rounds=max_rounds,
+            seed=seed, probe=probe, hooks=PerturbationHooks(bound),
+        )
+        offsets, _, _ = engine.dense_arrays()
+        out = np.zeros(int(offsets[-1]), dtype=bool)
+        crashed = np.zeros(network.n, dtype=bool)
+        for i, view in enumerate(result.views):
+            base = int(offsets[i])
+            for p, is_out in view.state.get("out", {}).items():
+                out[base + p] = bool(is_out)
+            crashed[i] = bool(view.state.get("crashed"))
+        rounds = result.rounds
+    repair = sinkless_repair(
+        engine, DenseFaults(engine, bound), seed, out, crashed, min_degree,
+        start_round=rounds + 1, max_rounds=max_rounds, cap=cap,
+    )
+    return dense_orientation(engine, out), repair.last_round, repair
+
+
+def splitting_recovering(
+    adjacency,
+    spec,
+    perturbations=(),
+    seed: int = 0,
+    fault_mode: str = "replay",
+    method: str = "engine",
+    coins="replay",
+    max_attempts: int = 64,
+    cap: int = REPAIR_ROUND_CAP,
+    engine=None,
+):
+    """Las-Vegas uniform splitting with post-run detect-and-repair.
+
+    Runs the standard per-attempt loop (each attempt rebinds the fault
+    schedule on its own run seed, exactly like the scenario runner), then
+    applies :func:`splitting_repair` to the final attempt's binding from
+    round 2 on.  Returns ``(partition, rounds, repair)`` where ``rounds``
+    counts one verification round per attempt plus the repair tail.
+    """
+    import numpy as np
+
+    from repro.bipartite.instance import BLUE, RED
+    from repro.scenarios.base import PerturbationHooks, bind_all
+    from repro.scenarios.masks import DenseFaults
+
+    require(method in ("engine", "dense"), f"unknown method {method!r}")
+    engine = _build_engine(adjacency, engine)
+    network = engine.network
+    rng = ensure_rng(seed)
+    run_seed = 0
+    colors = np.full(network.n, BLUE, dtype=np.int64)
+    crashed = np.zeros(network.n, dtype=bool)
+    attempt_bound = ()
+    accepted = False
+    attempts = 0
+    for attempts in range(1, max_attempts + 1):
+        run_seed = rng.randrange(2**31)
+        attempt_bound = bind_all(perturbations, network, run_seed, fault_mode)
+        if method == "dense":
+            from repro.local.dense import uniform_splitting_dense
+
+            result = uniform_splitting_dense(
+                engine, spec, seed=run_seed, coins=coins, red=RED, blue=BLUE,
+                faults=DenseFaults(engine, attempt_bound),
+            )
+            colors = result.colors.astype(np.int64).copy()
+            crashed = result.crashed.copy()
+            accepted = result.ok
+        else:
+            from repro.apps.splitting import ZeroRoundSplitting
+
+            result = engine.run(
+                ZeroRoundSplitting(spec), max_rounds=1, seed=run_seed,
+                hooks=PerturbationHooks(attempt_bound),
+            )
+            colors = np.array(
+                [int(v.state["color"]) for v in result.views], dtype=np.int64
+            )
+            crashed = np.array(
+                [bool(v.state.get("crashed")) for v in result.views]
+            )
+            accepted = all(
+                v.output[1] for v in result.views if v.output is not None
+            )
+        if accepted:
+            break
+    repair = splitting_repair(
+        engine, DenseFaults(engine, attempt_bound), spec, run_seed, colors,
+        crashed, start_round=2, red=RED, blue=BLUE, cap=cap,
+        edge_ok_mask=edge_ok_slot_mask(engine, attempt_bound),
+    )
+    return [int(c) for c in colors], attempts + repair.repair_rounds, repair

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.scenarios.adversary import AdversarialIDs, MultiEdgeLift, PortScramble
 from repro.scenarios.base import Perturbation
+from repro.scenarios.byzantine import CorrelatedCrash, CorruptMessages
 from repro.scenarios.dynamic import DropEdges, EdgeChurn, LateEdges
 from repro.scenarios.faults import CrashNodes, IIDMessageDrop, MuteHubs
 from repro.utils.validation import require
@@ -154,6 +155,60 @@ register_scenario(Scenario(
     "stay gone.  The contract validates against the post-deletion graph "
     "(kills caused by now-deleted neighbors surface as domination "
     "violations).",
+))
+
+register_scenario(Scenario(
+    name="luby/crash-correlated",
+    pipeline="luby",
+    perturbations=(CorrelatedCrash(fraction=0.1, at_round=3, mode="ball"),),
+    description="A spatially-clustered failure: a BFS ball covering 10% of "
+    "the nodes fail-stops before round 3 — unlike i.i.d. crashes, the dead "
+    "region's entire frontier loses progress at once, orphaning its "
+    "boundary (domination violations concentrate there).",
+))
+
+register_scenario(Scenario(
+    name="luby/crash-shard",
+    pipeline="luby",
+    perturbations=(CorrelatedCrash(fraction=0.125, at_round=3, mode="shard"),),
+    description="One contiguous node-range block (12.5% of the nodes, the "
+    "failure domain of a sharded worker dying) fail-stops before round 3; "
+    "node-range locality makes the victim set shard-aligned rather than "
+    "topology-aligned.",
+))
+
+register_scenario(Scenario(
+    name="luby/byzantine",
+    pipeline="luby",
+    perturbations=(CorruptMessages(p=0.1, until_round=6),),
+    description="A Byzantine channel rewrites 10% of delivered messages for "
+    "the first 6 rounds: forged priorities seat adjacent MIS nodes and "
+    "flipped join/stay announcements kill or orphan their neighbors.  The "
+    "window closes at round 6, so rounds_to_recover measures the tail and "
+    "the recovering variant must reach zero violations.",
+))
+
+register_scenario(Scenario(
+    name="sinkless/byzantine",
+    pipeline="sinkless",
+    perturbations=(CorruptMessages(p=0.1, from_round=2, until_round=6),),
+    description="Byzantine flip/ok announcements during trial-and-fix "
+    "rounds 2-6 (round 1, the proposal exchange, must stay clean): a "
+    "corrupted flip leaves the two endpoints disagreeing about the edge "
+    "direction, a defect only the recovering variant's reconcile round can "
+    "repair.",
+    topology="regular",
+    backends=("engine", "dense"),
+))
+
+register_scenario(Scenario(
+    name="splitting/byzantine",
+    pipeline="splitting",
+    perturbations=(CorruptMessages(p=0.05, until_round=1),),
+    description="The splitting verification round runs over a Byzantine "
+    "channel flipping 5% of the broadcast colors: nodes accept based on "
+    "forged counts, and the contract recomputes the true violation count "
+    "centrally.",
 ))
 
 register_scenario(Scenario(

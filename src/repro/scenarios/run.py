@@ -125,7 +125,9 @@ def run_scenario(
     max_attempts: int = 64,
     fault_mode: str = "replay",
     tracer=None,
-) -> Dict[str, Any]:
+    recover: bool = False,
+    return_state: bool = False,
+):
     """Execute one scenario trial and return its resilience metrics.
 
     ``scenario`` is a registry name or a :class:`Scenario`;
@@ -150,6 +152,20 @@ def run_scenario(
     :class:`~repro.obs.hooks.TracingHooks` on the hook backends, via the
     kernels' own trace points on the dense backend — plus a final
     ``result`` event carrying this trial's metrics.
+
+    ``recover=True`` runs the pipeline's *recovering* variant: after the
+    base run the self-stabilizing repair layer
+    (:mod:`repro.scenarios.recovery`) executes detect-and-repair rounds
+    under the same fault schedule (round numbering continues, so late
+    faults keep landing).  ``rounds`` then includes the repair tail (and
+    so does ``rounds_to_recover``), ``violations`` is recomputed on the
+    repaired state, and the metrics gain ``recovered``/``repair_rounds``/
+    ``violations_before_recovery``.  Repair rounds are not traced.
+
+    ``return_state=True`` returns ``(metrics, state)`` where ``state``
+    holds the end state the contract was judged on (``alive`` plus the
+    pipeline's solution and parameters) — the input shape of the exact
+    certification oracle (:mod:`repro.verify.certify`).
     """
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     require(
@@ -167,15 +183,20 @@ def run_scenario(
         max_rounds = 400 if sc.pipeline == "sinkless" else 10_000
 
     layout = None
+    # The repair layer runs on CSR arrays, so a recovering reference run
+    # still needs the packed engine (the base run stays hook-driven).
+    cell_backend = "engine" if (recover and backend == "reference") else backend
     if adjacency is None:
         network, engine, layout, setup_seconds = _scenario_cell(
-            sc, n, degree, graph_seed, backend
+            sc, n, degree, graph_seed, cell_backend
         )
     else:
         setup_start = time.perf_counter()
         adjacency, ids = rewrite_all(sc.perturbations, adjacency)
         network = Network(adjacency, ids=ids)
-        engine = CSREngine(network) if backend in ("engine", "dense") else None
+        engine = (
+            CSREngine(network) if cell_backend in ("engine", "dense") else None
+        )
         setup_seconds = time.perf_counter() - setup_start
 
     bound = bind_all(sc.perturbations, network, fault_seed=seed, fault_mode=fault_mode)
@@ -183,19 +204,19 @@ def run_scenario(
 
     solve_start = time.perf_counter()
     if sc.pipeline == "luby":
-        metrics = _run_luby(
+        metrics, state = _run_luby(
             sc, network, engine, bound, backend, seed, max_rounds, coins, layout,
-            tracer=tracer,
+            tracer=tracer, recover=recover,
         )
     elif sc.pipeline == "sinkless":
-        metrics = _run_sinkless(
+        metrics, state = _run_sinkless(
             sc, network, engine, bound, backend, seed, max_rounds, coins, layout,
-            tracer=tracer,
+            tracer=tracer, recover=recover,
         )
     else:
-        metrics = _run_splitting(
+        metrics, state = _run_splitting(
             sc, network, engine, backend, seed, degree, coins, max_attempts,
-            fault_mode, layout, tracer=tracer,
+            fault_mode, layout, tracer=tracer, recover=recover,
         )
     metrics["solve_seconds"] = time.perf_counter() - solve_start
 
@@ -223,11 +244,16 @@ def run_scenario(
         )
     if tracer is not None and tracer.enabled:
         tracer.event("result", **metrics)
+    if return_state:
+        # Settling schedules back the recovery layer's zero-violation
+        # guarantee; never-settling ones only promise best-effort repair.
+        state["settles"] = quiet is not None
+        return metrics, state
     return metrics
 
 
 def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layout=None,
-              tracer=None):
+              tracer=None, recover=False):
     adjacency = network.adjacency
     edge_ok = final_edge_ok(bound)
     if backend == "dense":
@@ -258,9 +284,37 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layo
         }
         completed = result.completed
         rounds = result.rounds
+    metrics = {}
+    if recover:
+        import numpy as np
+
+        from repro.scenarios.masks import DenseFaults
+        from repro.scenarios.recovery import luby_repair
+
+        if backend == "dense":
+            in_mis = result.in_mis
+            crashed = result.crashed
+        else:
+            in_mis = np.array([bool(v.state.get("in_mis")) for v in result.views])
+            crashed = np.array([bool(v.state.get("crashed")) for v in result.views])
+        pre_ind, pre_dom = mis_violations(adjacency, mis, alive=alive, edge_ok=edge_ok)
+        # ``max_rounds`` bounds the base run only: a base run that stalled
+        # against its cap is exactly the state repair exists for, so the
+        # tail gets its own REPAIR_ROUND_CAP-bounded budget.
+        rep = luby_repair(
+            engine, DenseFaults(engine, bound, layout=layout), seed, in_mis,
+            crashed, start_round=rounds + 1,
+        )
+        alive = [not bool(c) for c in crashed]
+        mis = {i for i in range(network.n) if alive[i] and in_mis[i]}
+        rounds = rep.last_round
+        completed = bool(completed) or rep.recovered
+        metrics["recovered"] = int(rep.recovered)
+        metrics["repair_rounds"] = rep.repair_rounds
+        metrics["violations_before_recovery"] = pre_ind + pre_dom
     independence, domination = mis_violations(adjacency, mis, alive=alive, edge_ok=edge_ok)
     survivors = sum(alive)
-    return {
+    metrics.update({
         "rounds": rounds,
         "completed": int(completed),
         "mis_size": len(mis),
@@ -270,7 +324,15 @@ def _run_luby(sc, network, engine, bound, backend, seed, max_rounds, coins, layo
         "domination_violations": domination,
         "violations": independence + domination,
         "rng_seconds": getattr(result, "rng_seconds", 0.0),
+    })
+    state = {
+        "pipeline": "luby",
+        "adjacency": adjacency,
+        "mis": mis,
+        "alive": alive,
+        "edge_ok": edge_ok,
     }
+    return metrics, state
 
 
 def _round_one_delivers_clean(b, network, layout) -> bool:
@@ -291,8 +353,23 @@ def _round_one_delivers_clean(b, network, layout) -> bool:
     )
 
 
+def _round_one_corruption_free(b, network, layout) -> bool:
+    """Whether perturbation ``b`` leaves every round-1 payload intact."""
+    if not getattr(b, "corrupts_messages", False):
+        return True
+    if layout is not None:
+        mask = b.corrupts_mask(1, layout.out_sender, layout.out_port)
+        if mask is not NotImplemented:
+            return mask is None or not bool(mask.any())
+    return not any(
+        b.corrupts(1, s, p)
+        for s in range(network.n)
+        for p in range(len(network.adjacency[s]))
+    )
+
+
 def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
-                  layout=None, tracer=None):
+                  layout=None, tracer=None, recover=False):
     adjacency = network.adjacency
     min_degree = sc.min_degree
     # Fault schedules for sinkless must leave round 1 (the proposal
@@ -310,6 +387,11 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
             _round_one_delivers_clean(b, network, layout),
             "sinkless scenarios must leave round 1 clean: start message "
             "faults from round 2 (e.g. IIDMessageDrop(from_round=2))",
+        )
+        require(
+            _round_one_corruption_free(b, network, layout),
+            "sinkless scenarios must leave round 1 clean: start Byzantine "
+            "corruption from round 2 (e.g. CorruptMessages(from_round=2))",
         )
     # Recovery dynamics start with the fix rounds.
     if backend == "dense":
@@ -354,20 +436,62 @@ def _run_sinkless(sc, network, engine, bound, backend, seed, max_rounds, coins,
         completed = rounds >= 2 and not any(
             alive[v] for v in sinks(adjacency, orientation, min_degree)
         )
+    metrics = {}
+    if recover:
+        import numpy as np
+
+        from repro.local.dense import dense_orientation
+        from repro.scenarios.masks import DenseFaults
+        from repro.scenarios.recovery import sinkless_repair
+
+        if backend == "dense":
+            out = result.out
+            crashed = result.crashed
+        else:
+            offsets, _, _ = engine.dense_arrays()
+            out = np.zeros(int(offsets[-1]), dtype=bool)
+            crashed = np.zeros(network.n, dtype=bool)
+            for i, view in enumerate(result.views):
+                base = int(offsets[i])
+                for p, is_out in view.state.get("out", {}).items():
+                    out[base + p] = bool(is_out)
+                crashed[i] = bool(view.state.get("crashed"))
+        pre = len(surviving_sinks(adjacency, orientation, alive, min_degree))
+        # Base-run cap only; the repair tail is REPAIR_ROUND_CAP-bounded
+        # (a base run livelocked by corrupted flips *needs* the tail).
+        rep = sinkless_repair(
+            engine, DenseFaults(engine, bound, layout=layout), seed, out,
+            crashed, min_degree, start_round=rounds + 1,
+        )
+        alive = [not bool(c) for c in crashed]
+        orientation = dense_orientation(engine, out)
+        rounds = rep.last_round
+        completed = bool(completed) or rep.recovered
+        metrics["recovered"] = int(rep.recovered)
+        metrics["repair_rounds"] = rep.repair_rounds
+        metrics["violations_before_recovery"] = pre
     remaining = surviving_sinks(adjacency, orientation, alive, min_degree)
     survivors = sum(alive)
-    return {
+    metrics.update({
         "rounds": rounds,
         "completed": int(completed),
         "survivors": survivors,
         "crashed_nodes": network.n - survivors,
         "violations": len(remaining),
         "rng_seconds": getattr(result, "rng_seconds", 0.0),
+    })
+    state = {
+        "pipeline": "sinkless",
+        "adjacency": adjacency,
+        "orientation": orientation,
+        "alive": alive,
+        "min_degree": min_degree,
     }
+    return metrics, state
 
 
 def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attempts,
-                   fault_mode="replay", layout=None, tracer=None):
+                   fault_mode="replay", layout=None, tracer=None, recover=False):
     adjacency = network.adjacency
     spec = UniformSplittingSpec(eps=sc.eps, min_constrained_degree=max(2, degree // 2))
     rng = ensure_rng(seed)
@@ -422,8 +546,38 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
             break
     # Ground truth for the attempt that actually stood (its binding decides
     # the final edge set under edge-dropping perturbations).
+    edge_ok = final_edge_ok(attempt_bound)
+    rounds = attempts  # one communication round per Las-Vegas attempt
+    completed = accepted
+    metrics = {}
+    if recover:
+        import numpy as np
+
+        from repro.bipartite.instance import BLUE, RED
+        from repro.scenarios.masks import DenseFaults
+        from repro.scenarios.recovery import edge_ok_slot_mask, splitting_repair
+
+        colors = np.asarray(partition, dtype=np.int64)
+        crashed = np.array([not a for a in alive], dtype=bool)
+        pre = len(
+            splitting_violations(adjacency, partition, spec, alive=alive, edge_ok=edge_ok)
+        )
+        # Repair continues the final attempt's environment: its binding is
+        # the schedule still in force and its run seed keys the repair coins.
+        rep = splitting_repair(
+            engine, DenseFaults(engine, attempt_bound, layout=layout), spec,
+            run_seed, colors, crashed, start_round=2, red=RED, blue=BLUE,
+            edge_ok_mask=edge_ok_slot_mask(engine, attempt_bound),
+        )
+        partition = [int(c) for c in colors]
+        alive = [not bool(c) for c in crashed]
+        rounds = attempts + rep.repair_rounds
+        completed = bool(accepted) or rep.recovered
+        metrics["recovered"] = int(rep.recovered)
+        metrics["repair_rounds"] = rep.repair_rounds
+        metrics["violations_before_recovery"] = pre
     bad = splitting_violations(
-        adjacency, partition, spec, alive=alive, edge_ok=final_edge_ok(attempt_bound)
+        adjacency, partition, spec, alive=alive, edge_ok=edge_ok
     )
     survivors = sum(alive)
     constrained = sum(
@@ -432,9 +586,9 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
         if alive[i]
         and spec.constrains(sum(1 for j in adjacency[i] if alive[j]))
     )
-    return {
-        "rounds": attempts,  # one communication round per Las-Vegas attempt
-        "completed": int(accepted),
+    metrics.update({
+        "rounds": rounds,
+        "completed": int(completed),
         "attempts": attempts,
         "accepted": int(accepted),
         "survivors": survivors,
@@ -442,4 +596,13 @@ def _run_splitting(sc, network, engine, backend, seed, degree, coins, max_attemp
         "constrained": constrained,
         "violations": len(bad),
         "rng_seconds": rng_seconds,
+    })
+    state = {
+        "pipeline": "splitting",
+        "adjacency": adjacency,
+        "partition": partition,
+        "alive": alive,
+        "spec": spec,
+        "edge_ok": edge_ok,
     }
+    return metrics, state

@@ -234,6 +234,79 @@ class TestQuietHorizon:
         assert Counting.calls <= 2 * (faults.quiet + 1)
 
 
+def scalar_corrupted(bound, layout, round_no):
+    return np.array(
+        [
+            any(
+                getattr(b, "corrupts_messages", False)
+                and b.corrupts(round_no, int(s), int(p))
+                for b in bound
+            )
+            for s, p in zip(layout.out_sender, layout.out_port)
+        ],
+        dtype=bool,
+    )
+
+
+class TestCorruptionMasks:
+    """Byzantine corruption masks == the per-slot scalar sweep."""
+
+    @pytest.mark.parametrize("fault_mode", ["replay", "mask"])
+    def test_corruption_masks_match_scalar_decisions(self, fault_mode):
+        from repro.scenarios import CorruptMessages
+
+        net = Network(small_graph(21))
+        engine = CSREngine(net)
+        layout = SlotLayout(engine)
+        bound = bind_all(
+            (CorruptMessages(p=0.3, from_round=2, until_round=5),
+             CrashNodes(0.2, at_round=3)),
+            net, fault_seed=5, fault_mode=fault_mode,
+        )
+        faults = DenseFaults(engine, bound, layout=layout)
+        assert faults.corrupting
+        for round_no in (1, 2, 3, 5, 6, 40):
+            cout = faults.corrupted_out(round_no)
+            got = cout if cout is not None else np.zeros(layout.partner.shape, bool)
+            assert np.array_equal(got, scalar_corrupted(bound, layout, round_no)), (
+                fault_mode, round_no,
+            )
+            cin = faults.corrupted_in(round_no)
+            if cout is None:
+                assert cin is None
+            else:
+                # The receiving view is the partner gather of the outgoing
+                # one: a slot is corrupted-in iff its sender corrupted-out.
+                assert np.array_equal(cin, cout[layout.partner])
+
+    def test_corrupting_stack_settles_and_expires(self):
+        from repro.scenarios import CorruptMessages
+
+        net = Network(small_graph(22))
+        engine = CSREngine(net)
+        bound = bind_all((CorruptMessages(p=0.5, until_round=4),), net, 1)
+        faults = DenseFaults(engine, bound)
+        assert faults.quiet == 4
+        assert faults.corrupted_out(4) is not None
+        # Steady state past the horizon: nothing is corrupted, one lookup.
+        assert faults.corrupted_out(5) is None
+        assert faults.corrupted_in(5) is None
+        assert faults.expired(5)
+
+    def test_never_settling_corrupter_keeps_bounded_cache(self):
+        from repro.scenarios import CorruptMessages
+
+        net = Network(small_graph(23))
+        engine = CSREngine(net)
+        bound = bind_all((CorruptMessages(p=0.2),), net, 2)
+        faults = DenseFaults(engine, bound)
+        assert faults.quiet is None
+        for r in range(1, 5 * DenseFaults.CACHE_MAX):
+            faults.corrupted_in(r)  # nested "cout" build, like "in"/"out"
+            faults.corrupted_out(r)
+            assert len(faults._cache) <= DenseFaults.CACHE_MAX
+
+
 class TestMaskModeBackendAgreement:
     """One fault mode => one schedule, bit-identical across executors."""
 
